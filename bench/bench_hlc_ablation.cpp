@@ -1,0 +1,141 @@
+// Ablation A1 (§IV): the paper's HLC maintenance optimizations.
+//
+//  (1) ClockNow/ClockUpdate do NOT increment the logical counter, so the
+//      16-bit lc space is conserved (the original HLC increments on every
+//      message);
+//  (2) the 2PC coordinator calls ClockUpdate once with the max prepare_ts
+//      instead of once per participant, reducing contention on the shared
+//      node.hlc word.
+//
+// Measured with google-benchmark: multi-threaded timestamp throughput, CAS
+// retry counts, and lc-space consumption for optimized vs original
+// settings; plus the per-commit ClockUpdate call count for batched vs
+// per-participant coordinator updates.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "src/clock/hlc.h"
+
+namespace polarx {
+namespace {
+
+uint64_t FixedClock() { return 12345; }
+
+void BM_HlcAdvance_Optimized(benchmark::State& state) {
+  static Hlc* hlc = nullptr;
+  if (state.thread_index() == 0) hlc = new Hlc(FixedClock);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hlc->Advance());
+  }
+  if (state.thread_index() == 0) {
+    state.counters["cas_retries"] = double(hlc->cas_retries());
+    delete hlc;
+    hlc = nullptr;
+  }
+}
+BENCHMARK(BM_HlcAdvance_Optimized)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_HlcNow_Optimized(benchmark::State& state) {
+  // Optimized ClockNow is read-mostly: no logical-space consumption, no CAS
+  // when the clock is stalled.
+  static Hlc* hlc = nullptr;
+  if (state.thread_index() == 0) {
+    hlc = new Hlc(FixedClock);
+    hlc->Advance();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hlc->Now());
+  }
+  if (state.thread_index() == 0) {
+    state.counters["lc_increments"] = double(hlc->lc_increments());
+    delete hlc;
+    hlc = nullptr;
+  }
+}
+BENCHMARK(BM_HlcNow_Optimized)->Threads(1)->Threads(4);
+
+void BM_HlcNow_Original(benchmark::State& state) {
+  // Original HLC increments lc on every read: every call is a CAS.
+  static Hlc* hlc = nullptr;
+  if (state.thread_index() == 0) {
+    HlcOptions opts;
+    opts.increment_on_now = true;
+    hlc = new Hlc(FixedClock, opts);
+    hlc->Advance();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hlc->Now());
+  }
+  if (state.thread_index() == 0) {
+    state.counters["lc_increments"] = double(hlc->lc_increments());
+    state.counters["cas_retries"] = double(hlc->cas_retries());
+    delete hlc;
+    hlc = nullptr;
+  }
+}
+BENCHMARK(BM_HlcNow_Original)->Threads(1)->Threads(4);
+
+/// Coordinator-side ClockUpdate batching: one Update with max(prepare_ts)
+/// vs one per participant.
+void BM_CommitUpdates_BatchedMax(benchmark::State& state) {
+  Hlc hlc(FixedClock);
+  Timestamp prepare_ts[5] = {100, 300, 200, 500, 400};
+  for (auto _ : state) {
+    Timestamp max_ts = 0;
+    for (Timestamp t : prepare_ts) max_ts = std::max(max_ts, t);
+    hlc.Update(max_ts);  // exactly one shared-word touch per commit
+  }
+  state.counters["updates_per_commit"] =
+      double(hlc.update_calls()) / double(state.iterations());
+}
+BENCHMARK(BM_CommitUpdates_BatchedMax);
+
+void BM_CommitUpdates_PerParticipant(benchmark::State& state) {
+  Hlc hlc(FixedClock);
+  Timestamp prepare_ts[5] = {100, 300, 200, 500, 400};
+  for (auto _ : state) {
+    for (Timestamp t : prepare_ts) hlc.Update(t);
+  }
+  state.counters["updates_per_commit"] =
+      double(hlc.update_calls()) / double(state.iterations());
+}
+BENCHMARK(BM_CommitUpdates_PerParticipant);
+
+/// lc-space consumption summary: how fast the 16-bit space burns in each
+/// variant under a read-heavy pattern (10 reads : 1 advance).
+void PrintLcSpaceSummary() {
+  auto run = [](bool increment_on_now) {
+    HlcOptions opts;
+    opts.increment_on_now = increment_on_now;
+    Hlc hlc(FixedClock, opts);
+    for (int i = 0; i < 100000; ++i) {
+      if (i % 10 == 0) {
+        hlc.Advance();
+      } else {
+        hlc.Now();
+      }
+    }
+    return hlc.lc_increments();
+  };
+  uint64_t optimized = run(false);
+  uint64_t original = run(true);
+  std::printf(
+      "\nA1 lc-space consumption (100k ops, 10:1 read:advance): optimized=%llu"
+      " increments, original=%llu (%.1fx more; 16-bit space = 65535/ms)\n",
+      static_cast<unsigned long long>(optimized),
+      static_cast<unsigned long long>(original),
+      double(original) / double(optimized ? optimized : 1));
+}
+
+}  // namespace
+}  // namespace polarx
+
+int main(int argc, char** argv) {
+  std::printf("A1 — HLC maintenance optimizations (§IV)\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  polarx::PrintLcSpaceSummary();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Quickstart: a single-node PolarDB-X engine — create a table, write rows
+// in transactions, read them back with snapshot isolation, and watch the
+// MVCC/redo machinery underneath.
+//
+//   $ ./example_quickstart
+#include <cstdio>
+
+#include "src/clock/hlc.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/key_codec.h"
+#include "src/txn/engine.h"
+
+using namespace polarx;
+
+int main() {
+  std::printf("== polarx quickstart ==\n\n");
+
+  // A DN kernel: catalog + hybrid logical clock + redo log + buffer pool.
+  TableCatalog catalog;
+  Hlc hlc(SystemClockMs());
+  RedoLog redo;
+  CountingPageStore page_store;
+  BufferPool pool(&page_store);
+  TxnEngine engine(/*engine_id=*/1, &catalog, &hlc, &redo, &pool);
+
+  // CREATE TABLE accounts (id BIGINT PRIMARY KEY, owner VARCHAR, balance DOUBLE)
+  Schema schema({{"id", ValueType::kInt64, false},
+                 {"owner", ValueType::kString, false},
+                 {"balance", ValueType::kDouble, false}},
+                {0});
+  constexpr TableId kAccounts = 1;
+  auto table = catalog.CreateTable(kAccounts, "accounts", schema);
+  if (!table.ok()) {
+    std::printf("create table failed: %s\n",
+                table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("created table accounts\n");
+
+  // INSERT a few rows in one transaction.
+  TxnId setup = engine.Begin();
+  engine.Insert(setup, kAccounts, {int64_t{1}, std::string("alice"), 100.0});
+  engine.Insert(setup, kAccounts, {int64_t{2}, std::string("bob"), 50.0});
+  auto commit_ts = engine.CommitLocal(setup);
+  std::printf("inserted 2 rows, commit_ts=%llu (pt=%llums lc=%llu)\n",
+              static_cast<unsigned long long>(*commit_ts),
+              static_cast<unsigned long long>(hlc_layout::Pt(*commit_ts)),
+              static_cast<unsigned long long>(hlc_layout::Lc(*commit_ts)));
+
+  // A snapshot taken now...
+  Timestamp before_transfer = hlc.Now();
+
+  // ...then a transfer transaction.
+  TxnId transfer = engine.Begin();
+  Row alice, bob;
+  engine.Read(transfer, kAccounts, EncodeKey({int64_t{1}}), &alice);
+  engine.Read(transfer, kAccounts, EncodeKey({int64_t{2}}), &bob);
+  engine.Update(transfer, kAccounts,
+                {int64_t{1}, std::string("alice"),
+                 std::get<double>(alice[2]) - 30.0});
+  engine.Update(transfer, kAccounts,
+                {int64_t{2}, std::string("bob"),
+                 std::get<double>(bob[2]) + 30.0});
+  engine.CommitLocal(transfer);
+  std::printf("transferred 30.0 alice -> bob\n\n");
+
+  // Snapshot isolation: the old snapshot still sees the old balances.
+  auto show = [&](const char* label, Timestamp snapshot) {
+    std::printf("%s:\n", label);
+    Row row;
+    for (int64_t id : {1, 2}) {
+      if (engine.ReadAt(snapshot, kAccounts, EncodeKey({id}), &row).ok()) {
+        std::printf("  %lld %-6s %.2f\n", static_cast<long long>(id),
+                    std::get<std::string>(row[1]).c_str(),
+                    std::get<double>(row[2]));
+      }
+    }
+  };
+  show("balances at the pre-transfer snapshot", before_transfer);
+  show("balances now", hlc.Now());
+
+  // What the storage layer recorded.
+  std::vector<RedoRecord> records;
+  redo.ReadRecords(1, redo.current_lsn(), &records);
+  std::printf("\nredo log: %zu records, %zu bytes; dirty pages: %zu\n",
+              records.size(), redo.SizeBytes(), pool.dirty_pages());
+  TxnEngineStats stats = engine.stats();
+  std::printf("engine: %llu begun, %llu committed, %llu aborted\n",
+              static_cast<unsigned long long>(stats.begun),
+              static_cast<unsigned long long>(stats.committed),
+              static_cast<unsigned long long>(stats.aborted));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// SQL demo: drive the engine through the mini-SQL front end, the way a
+// MySQL client would talk to a CN.
+//
+//   $ ./example_sql_demo             # runs the scripted demo
+//   $ ./example_sql_demo -i          # interactive REPL on stdin
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "src/sql/sql.h"
+#include "src/storage/buffer_pool.h"
+
+using namespace polarx;
+
+int main(int argc, char** argv) {
+  TableCatalog catalog;
+  Hlc hlc(SystemClockMs());
+  RedoLog log;
+  CountingPageStore store;
+  BufferPool pool(&store);
+  TxnEngine engine(1, &catalog, &hlc, &log, &pool);
+  sql::Session session(&engine);
+
+  auto run = [&](const std::string& stmt) {
+    std::printf("sql> %s\n", stmt.c_str());
+    auto result = session.Execute(stmt);
+    if (!result.ok()) {
+      std::printf("ERROR: %s\n\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s\n", result->ToString().c_str());
+  };
+
+  if (argc > 1 && std::strcmp(argv[1], "-i") == 0) {
+    std::printf("polarx SQL shell — end statements with Enter, ctrl-d to "
+                "quit\n");
+    std::string line;
+    while (std::printf("sql> "), std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      auto result = session.Execute(line);
+      std::printf("%s\n", result.ok()
+                              ? result->ToString().c_str()
+                              : ("ERROR: " + result.status().ToString())
+                                    .c_str());
+    }
+    return 0;
+  }
+
+  run("CREATE TABLE orders (id BIGINT PRIMARY KEY, customer VARCHAR(32), "
+      "region VARCHAR(8), amount DOUBLE)");
+  run("INSERT INTO orders VALUES (1, 'acme', 'east', 120.5), "
+      "(2, 'globex', 'west', 220.0), (3, 'acme', 'east', 75.25), "
+      "(4, 'initech', 'west', 310.0), (5, 'acme', 'west', 55.0)");
+  run("SELECT * FROM orders WHERE region = 'east'");
+  run("SELECT region, COUNT(*), SUM(amount) FROM orders GROUP BY region "
+      "ORDER BY region");
+  run("SELECT customer, amount FROM orders ORDER BY amount DESC LIMIT 3");
+  run("BEGIN");
+  run("UPDATE orders SET amount = 99.0 WHERE customer LIKE 'acme%'");
+  run("ROLLBACK");
+  run("SELECT SUM(amount) FROM orders");
+  run("DELETE FROM orders WHERE amount < 100");
+  run("SELECT COUNT(*) FROM orders");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "src/clock/hlc.h"
+
+#include <chrono>
+#include <utility>
+
+namespace polarx {
+
+PhysicalClockMs SystemClockMs() {
+  return [] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  };
+}
+
+Hlc::Hlc(PhysicalClockMs physical_clock, HlcOptions options)
+    : physical_clock_(std::move(physical_clock)), options_(options) {}
+
+Timestamp Hlc::AdvanceInternal(bool increment) {
+  const uint64_t pt = physical_clock_();
+  Timestamp cur = state_.load(std::memory_order_acquire);
+  for (;;) {
+    Timestamp next;
+    if (pt > hlc_layout::Pt(cur)) {
+      // Physical clock moved ahead of the HLC: adopt it, reset lc.
+      next = hlc_layout::Pack(pt, 0);
+    } else if (increment) {
+      next = cur + 1;  // lc overflow naturally carries into pt
+    } else {
+      return cur;  // ClockNow with pt <= hlc: no state change needed
+    }
+    if (state_.compare_exchange_weak(cur, next, std::memory_order_acq_rel)) {
+      if (increment && hlc_layout::Pt(next) == hlc_layout::Pt(cur)) {
+        lc_increments_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return next;
+    }
+    cas_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Timestamp Hlc::Now() { return AdvanceInternal(options_.increment_on_now); }
+
+Timestamp Hlc::Advance() { return AdvanceInternal(true); }
+
+Timestamp Hlc::Update(Timestamp incoming) {
+  update_calls_.fetch_add(1, std::memory_order_relaxed);
+  Timestamp target = incoming;
+  if (options_.increment_on_update) {
+    target = incoming + 1;
+    lc_increments_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Timestamp cur = state_.load(std::memory_order_acquire);
+  while (cur < target) {
+    if (state_.compare_exchange_weak(cur, target,
+                                     std::memory_order_acq_rel)) {
+      return target;
+    }
+    cas_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return cur;
+}
+
+}  // namespace polarx

@@ -1,0 +1,26 @@
+#include "src/clock/tso.h"
+
+#include <utility>
+
+namespace polarx {
+
+TsoService::TsoService(PhysicalClockMs physical_clock)
+    : physical_clock_(std::move(physical_clock)) {}
+
+Timestamp TsoService::Next() { return NextBatch(1); }
+
+Timestamp TsoService::NextBatch(uint32_t n) {
+  if (n == 0) n = 1;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const Timestamp floor = hlc_layout::Pack(physical_clock_(), 0);
+  Timestamp cur = last_.load(std::memory_order_acquire);
+  for (;;) {
+    Timestamp start = cur >= floor ? cur + 1 : floor;
+    if (last_.compare_exchange_weak(cur, start + (n - 1),
+                                    std::memory_order_acq_rel)) {
+      return start;
+    }
+  }
+}
+
+}  // namespace polarx

@@ -1,0 +1,342 @@
+#include "src/cn/sim_cluster.h"
+
+#include "src/storage/key_codec.h"
+
+namespace polarx {
+
+namespace {
+/// Virtual-time physical clock source for HLCs: milliseconds of sim time.
+PhysicalClockMs SimClockMs(sim::Scheduler* sched) {
+  return [sched] { return 1000 + sched->Now() / sim::kUsPerMs; };
+}
+}  // namespace
+
+SimCluster::SimCluster(sim::Scheduler* sched, sim::Network* net,
+                       SimClusterConfig config)
+    : sched_(sched), net_(net), config_(config) {
+  // CN servers: cns_per_dc in each DC.
+  for (int dc = 0; dc < config_.num_dcs; ++dc) {
+    for (int i = 0; i < config_.cns_per_dc; ++i) {
+      CnNode cn;
+      cn.dc = DcId(dc);
+      cn.node = net_->AddNode(cn.dc, "cn-" + std::to_string(dc) + "-" +
+                                         std::to_string(i));
+      cn.hlc = std::make_unique<Hlc>(SimClockMs(sched_));
+      cn.server = std::make_unique<sim::Server>(sched_, config_.cn_cores);
+      cns_.push_back(std::move(cn));
+    }
+  }
+  // DN instances: leader in DC (i % num_dcs), followers in the other DCs.
+  for (int i = 0; i < config_.num_dns; ++i) {
+    auto dn = std::make_unique<DnNode>();
+    dn->dc = DcId(i % config_.num_dcs);
+    dn->leader_node =
+        net_->AddNode(dn->dc, "dn-" + std::to_string(i) + "-leader");
+    dn->hlc = std::make_unique<Hlc>(SimClockMs(sched_));
+    dn->log = std::make_unique<RedoLog>();
+    dn->pool = std::make_unique<BufferPool>(&dn->store);
+    TxnEngineOptions opts;
+    opts.use_prepare_ts_filter = config_.scheme == TsScheme::kHlcSi;
+    dn->engine = std::make_unique<TxnEngine>(
+        uint32_t(i + 1), &dn->catalog, dn->hlc.get(), dn->log.get(),
+        dn->pool.get(), opts);
+    dn->paxos = std::make_unique<PaxosGroup>(net_, config_.paxos);
+    dn->leader =
+        dn->paxos->AddMember(dn->leader_node, PaxosRole::kLeader,
+                             dn->log.get());
+    for (int f = 1; f < config_.num_dcs; ++f) {
+      DcId fdc = DcId((i + f) % config_.num_dcs);
+      NodeId fnode = net_->AddNode(
+          fdc, "dn-" + std::to_string(i) + "-f" + std::to_string(f));
+      dn->follower_logs.push_back(std::make_unique<RedoLog>());
+      dn->paxos->AddMember(fnode, PaxosRole::kFollower,
+                           dn->follower_logs.back().get());
+    }
+    dn->paxos->Start();
+    dn->committer = std::make_unique<AsyncCommitter>(dn->leader);
+    dn->server = std::make_unique<sim::Server>(sched_, config_.dn_cores);
+    dns_.push_back(std::move(dn));
+  }
+  // TSO in DC 0 (TSO-SI only, but always constructed for telemetry).
+  tso_node_ = net_->AddNode(0, "tso");
+  tso_service_ = std::make_unique<TsoService>(SimClockMs(sched_));
+  tso_server_ = std::make_unique<sim::Server>(sched_, 4);
+}
+
+SimCluster::~SimCluster() = default;
+
+void SimCluster::LoadSysbenchTable() {
+  Rng rng(config_.seed);
+  Schema schema = Sysbench::TableSchema();
+  for (auto& dn : dns_) {
+    dn->catalog.CreateTable(table_id_, "sbtest", schema, 0);
+  }
+  for (int64_t id = 1; id <= int64_t(config_.table_size); ++id) {
+    int dn_index = DnOfKey(id);
+    TableStore* table = dns_[dn_index]->catalog.FindTable(table_id_);
+    Row row = Sysbench::MakeRow(id, &rng);
+    auto version = std::make_shared<Version>(1, false, std::move(row));
+    version->commit_ts.store(hlc_layout::Pack(999, 1),
+                             std::memory_order_release);
+    table->rows().Push(EncodeKey({id}), version);
+  }
+}
+
+int SimCluster::DnOfKey(int64_t key) const {
+  return int(ShardOf(EncodeKey({key}), uint32_t(dns_.size())));
+}
+
+void SimCluster::SubmitTxn(int cn_index, const SysbenchTxn& txn,
+                           std::function<void(bool, sim::SimTime)> done) {
+  auto state = std::make_shared<TxnState>();
+  state->cn = cn_index % int(cns_.size());
+  state->txn = txn;
+  state->done = std::move(done);
+  state->start_time = sched_->Now();
+  CnNode& cn = cns_[state->cn];
+  cn.server->Execute(config_.cn_overhead_us,
+                     [this, state] { AcquireSnapshot(state); });
+}
+
+void SimCluster::AcquireSnapshot(TxnPtr txn) {
+  CnNode& cn = cns_[txn->cn];
+  if (config_.scheme == TsScheme::kHlcSi) {
+    txn->snapshot_ts = cn.hlc->Now();  // ClockNow: free, local (§IV)
+    ExecuteNextOp(txn);
+    return;
+  }
+  // TSO-SI: a round trip to the TSO in DC 0.
+  net_->Send(cn.node, tso_node_, 32, [this, txn] {
+    tso_server_->Execute(config_.tso_service_us, [this, txn] {
+      Timestamp ts = tso_service_->Next();
+      net_->Send(tso_node_, cns_[txn->cn].node, 32, [this, txn, ts] {
+        txn->snapshot_ts = ts;
+        ExecuteNextOp(txn);
+      });
+    });
+  });
+}
+
+void SimCluster::ExecuteNextOp(TxnPtr txn) {
+  if (txn->failed) {
+    AbortAll(txn);
+    return;
+  }
+  if (txn->next_op >= txn->txn.ops.size()) {
+    BeginCommit(txn);
+    return;
+  }
+  SysbenchOp op = txn->txn.ops[txn->next_op++];
+  RunOpOnDn(txn, DnOfKey(op.key), op);
+}
+
+void SimCluster::RunOpOnDn(TxnPtr txn, int dn_index, SysbenchOp op) {
+  CnNode& cn = cns_[txn->cn];
+  DnNode* dn = dns_[dn_index].get();
+  // CN -> DN statement message.
+  net_->Send(cn.node, dn->leader_node, 256, [this, txn, dn_index, op] {
+    DnNode* dn = dns_[dn_index].get();
+    dn->server->Execute(config_.dn_op_us, [this, txn, dn_index, op] {
+      DnNode* dn = dns_[dn_index].get();
+      // First statement on this participant starts the branch; shipping
+      // snapshot_ts performs ClockUpdate on the DN (§IV step 3).
+      auto it = txn->branches.find(dn_index);
+      TxnId branch;
+      if (it == txn->branches.end()) {
+        if (config_.scheme == TsScheme::kHlcSi) {
+          dn->hlc->Update(txn->snapshot_ts);
+        }
+        branch = dn->engine->Begin(txn->snapshot_ts);
+        txn->branches[dn_index] = branch;
+      } else {
+        branch = it->second;
+      }
+
+      Status s = Status::Ok();
+      Rng value_rng(uint64_t(op.key) * 1315423911ULL + txn->next_op);
+      switch (op.type) {
+        case SysbenchOp::Type::kPointRead: {
+          Row row;
+          TxnId blocker = kInvalidTxnId;
+          s = dn->engine->Read(branch, table_id_, EncodeKey({op.key}), &row,
+                               &blocker);
+          if (s.IsBusy() && blocker != kInvalidTxnId) {
+            // Prepared-wait: retry once the blocker resolves.
+            TxnPtr txn_copy = txn;
+            SysbenchOp op_copy = op;
+            int dn_copy = dn_index;
+            dn->engine->OnResolved(blocker, [this, txn_copy, dn_copy,
+                                             op_copy] {
+              RunOpOnDn(txn_copy, dn_copy, op_copy);
+            });
+            return;  // resumed later
+          }
+          if (s.IsNotFound()) s = Status::Ok();  // deleted row: fine
+          break;
+        }
+        case SysbenchOp::Type::kRangeRead: {
+          int count = 0;
+          s = dn->engine->ScanVisible(
+              branch, table_id_, EncodeKey({op.key}),
+              EncodeKey({op.key + op.range_len}),
+              [&count](const EncodedKey&, const Row&) {
+                ++count;
+                return true;
+              });
+          if (s.IsBusy()) s = Status::Ok();  // lite: skip blocked ranges
+          break;
+        }
+        case SysbenchOp::Type::kUpdateIndexed:
+        case SysbenchOp::Type::kUpdateNonIndexed: {
+          Row row = Sysbench::MakeRow(op.key, &value_rng);
+          s = dn->engine->Upsert(branch, table_id_, row);
+          break;
+        }
+        case SysbenchOp::Type::kDelete:
+          s = dn->engine->Delete(branch, table_id_, EncodeKey({op.key}));
+          break;
+        case SysbenchOp::Type::kInsert: {
+          Row row = Sysbench::MakeRow(op.key, &value_rng);
+          s = dn->engine->Upsert(branch, table_id_, row);
+          break;
+        }
+      }
+      bool ok = s.ok();
+      // DN -> CN reply.
+      net_->Send(dn->leader_node, cns_[txn->cn].node, 128,
+                 [this, txn, ok] {
+                   if (!ok) txn->failed = true;
+                   ExecuteNextOp(txn);
+                 });
+    });
+  });
+}
+
+void SimCluster::BeginCommit(TxnPtr txn) {
+  if (txn->branches.empty()) {
+    Finish(txn, true);
+    return;
+  }
+  if (txn->txn.read_only) {
+    // Read-only: no 2PC, just end the branches.
+    for (auto& [dn_index, branch] : txn->branches) {
+      dns_[dn_index]->engine->Abort(branch);  // drop read-only branch state
+    }
+    Finish(txn, true);
+    return;
+  }
+  SendPrepares(txn);
+}
+
+void SimCluster::SendPrepares(TxnPtr txn) {
+  txn->pending_acks = txn->branches.size();
+  for (auto& [dn_index, branch] : txn->branches) {
+    int dn_copy = dn_index;
+    TxnId branch_copy = branch;
+    net_->Send(cns_[txn->cn].node, dns_[dn_index]->leader_node, 128,
+               [this, txn, dn_copy, branch_copy] {
+      DnNode* dn = dns_[dn_copy].get();
+      dn->server->Execute(config_.dn_op_us, [this, txn, dn_copy,
+                                             branch_copy] {
+        DnNode* dn = dns_[dn_copy].get();
+        auto prep = dn->engine->Prepare(branch_copy);
+        if (!prep.ok()) {
+          net_->Send(dn->leader_node, cns_[txn->cn].node, 64,
+                     [this, txn] {
+                       txn->failed = true;
+                       if (--txn->pending_acks == 0) AbortAll(txn);
+                     });
+          return;
+        }
+        Timestamp prepare_ts = *prep;
+        // The prepare (and all the transaction's redo) must be durable on a
+        // majority of datacenters before ACKing (§III). Asynchronous
+        // commit: no DN thread blocks; the callback fires on DLSN advance.
+        dn->leader->NotifyNewData();
+        Lsn end_lsn = dn->log->current_lsn();
+        dn->committer->Submit(end_lsn, [this, txn, dn_copy, prepare_ts] {
+          DnNode* dn = dns_[dn_copy].get();
+          net_->Send(dn->leader_node, cns_[txn->cn].node, 64,
+                     [this, txn, prepare_ts] {
+                       txn->max_prepare_ts =
+                           std::max(txn->max_prepare_ts, prepare_ts);
+                       if (--txn->pending_acks == 0) {
+                         if (txn->failed) {
+                           AbortAll(txn);
+                         } else {
+                           SendCommits(txn);
+                         }
+                       }
+                     });
+        });
+      });
+    });
+  }
+}
+
+void SimCluster::SendCommits(TxnPtr txn) {
+  CnNode& cn = cns_[txn->cn];
+  auto do_commit = [this, txn](Timestamp commit_ts) {
+    if (config_.scheme == TsScheme::kHlcSi) {
+      // Single ClockUpdate with the max prepare_ts (§IV optimization 2).
+      cns_[txn->cn].hlc->Update(commit_ts);
+    }
+    txn->pending_acks = txn->branches.size();
+    for (auto& [dn_index, branch] : txn->branches) {
+      int dn_copy = dn_index;
+      TxnId branch_copy = branch;
+      net_->Send(cns_[txn->cn].node, dns_[dn_index]->leader_node, 128,
+                 [this, txn, dn_copy, branch_copy, commit_ts] {
+        DnNode* dn = dns_[dn_copy].get();
+        dn->server->Execute(config_.dn_op_us, [this, txn, dn_copy,
+                                               branch_copy, commit_ts] {
+          DnNode* dn = dns_[dn_copy].get();
+          dn->engine->Commit(branch_copy, commit_ts);
+          dn->leader->NotifyNewData();
+          Lsn end_lsn = dn->log->current_lsn();
+          dn->committer->Submit(end_lsn, [this, txn, dn_copy] {
+            DnNode* dn = dns_[dn_copy].get();
+            net_->Send(dn->leader_node, cns_[txn->cn].node, 64,
+                       [this, txn] {
+                         if (--txn->pending_acks == 0) Finish(txn, true);
+                       });
+          });
+        });
+      });
+    }
+  };
+
+  if (config_.scheme == TsScheme::kHlcSi) {
+    do_commit(txn->max_prepare_ts);  // commit_ts = max(prepare_ts), local
+    return;
+  }
+  // TSO-SI: another round trip for the commit timestamp.
+  net_->Send(cn.node, tso_node_, 32, [this, txn, do_commit] {
+    tso_server_->Execute(config_.tso_service_us, [this, txn, do_commit] {
+      Timestamp ts = tso_service_->Next();
+      net_->Send(tso_node_, cns_[txn->cn].node, 32,
+                 [ts, do_commit] { do_commit(ts); });
+    });
+  });
+}
+
+void SimCluster::AbortAll(TxnPtr txn) {
+  for (auto& [dn_index, branch] : txn->branches) {
+    dns_[dn_index]->engine->Abort(branch);
+  }
+  Finish(txn, false);
+}
+
+void SimCluster::Finish(TxnPtr txn, bool ok) {
+  sim::SimTime latency = sched_->Now() - txn->start_time;
+  if (ok) {
+    ++stats_.committed;
+    stats_.latency_us.Record(double(latency));
+  } else {
+    ++stats_.aborted;
+  }
+  auto done = std::move(txn->done);
+  if (done) done(ok, latency);
+}
+
+}  // namespace polarx

@@ -1,0 +1,138 @@
+// A simulated multi-datacenter PolarDB-X deployment (experiment E1 /
+// Fig. 7): CN servers and DN Paxos groups placed across datacenters on the
+// discrete-event network, executing sysbench transactions end to end —
+// real HLC/TSO timestamping, real MVCC engines, real 2PC, real Paxos
+// replication of each DN's redo log — with network latencies and node
+// service times supplied by the simulation.
+//
+// Topology (matching §VII-A): `num_dcs` datacenters, `cns_per_dc` CN
+// servers each, `num_dns` DN instances whose Paxos leaders are spread
+// round-robin over the DCs (each leader has followers in the other two
+// DCs). In TSO-SI mode a TSO server sits in DC 0; every snapshot/commit
+// timestamp is a network round trip to it. In HLC-SI mode the CN's local
+// hybrid clock provides timestamps with no network cost.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/clock/hlc.h"
+#include "src/clock/tso.h"
+#include "src/common/histogram.h"
+#include "src/consensus/paxos.h"
+#include "src/sim/network.h"
+#include "src/sim/resource.h"
+#include "src/storage/buffer_pool.h"
+#include "src/txn/distributed.h"
+#include "src/txn/engine.h"
+#include "src/workload/sysbench.h"
+
+namespace polarx {
+
+struct SimClusterConfig {
+  int num_dcs = 3;
+  int cns_per_dc = 2;
+  int num_dns = 3;
+  TsScheme scheme = TsScheme::kHlcSi;
+  /// Cores and per-operation service times.
+  uint32_t cn_cores = 16;
+  uint32_t dn_cores = 8;
+  sim::SimTime cn_overhead_us = 15;   // parse/plan/route per statement
+  sim::SimTime dn_op_us = 25;         // row operation on the engine
+  sim::SimTime tso_service_us = 2;    // timestamp allocation
+  /// Sysbench table size (rows pre-loaded, hash-sharded over DNs).
+  uint64_t table_size = 100000;
+  PaxosConfig paxos;
+  uint64_t seed = 7;
+};
+
+/// End-to-end transaction statistics.
+struct SimClusterStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  Histogram latency_us;
+};
+
+class SimCluster {
+ public:
+  SimCluster(sim::Scheduler* sched, sim::Network* net,
+             SimClusterConfig config);
+  ~SimCluster();
+
+  /// Loads the sysbench table (committed rows on every DN shard).
+  void LoadSysbenchTable();
+
+  /// Executes `txn` starting from CN `cn_index` (0-based across all CNs);
+  /// `done(ok, latency_us)` fires at completion on the virtual clock.
+  void SubmitTxn(int cn_index, const SysbenchTxn& txn,
+                 std::function<void(bool, sim::SimTime)> done);
+
+  int num_cns() const { return int(cns_.size()); }
+  const SimClusterStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SimClusterStats{}; }
+
+  /// Telemetry for assertions: cross-DC messages from TSO traffic etc.
+  TsoService* tso() { return tso_service_.get(); }
+
+ private:
+  struct CnNode {
+    NodeId node;
+    DcId dc;
+    std::unique_ptr<Hlc> hlc;
+    std::unique_ptr<sim::Server> server;
+  };
+  struct DnNode {
+    NodeId leader_node;
+    DcId dc;
+    std::unique_ptr<Hlc> hlc;
+    std::unique_ptr<RedoLog> log;              // leader log (paxos-owned)
+    std::vector<std::unique_ptr<RedoLog>> follower_logs;
+    TableCatalog catalog;
+    CountingPageStore store;
+    std::unique_ptr<BufferPool> pool;
+    std::unique_ptr<TxnEngine> engine;
+    std::unique_ptr<PaxosGroup> paxos;
+    PaxosMember* leader = nullptr;
+    std::unique_ptr<AsyncCommitter> committer;
+    std::unique_ptr<sim::Server> server;
+  };
+
+  /// In-flight distributed transaction state (coordinator side).
+  struct TxnState {
+    int cn;
+    SysbenchTxn txn;
+    size_t next_op = 0;
+    Timestamp snapshot_ts = 0;
+    std::map<int, TxnId> branches;  // dn index -> branch txn
+    Timestamp max_prepare_ts = 0;
+    size_t pending_acks = 0;
+    bool failed = false;
+    sim::SimTime start_time = 0;
+    std::function<void(bool, sim::SimTime)> done;
+  };
+  using TxnPtr = std::shared_ptr<TxnState>;
+
+  int DnOfKey(int64_t key) const;
+  void AcquireSnapshot(TxnPtr txn);
+  void ExecuteNextOp(TxnPtr txn);
+  void RunOpOnDn(TxnPtr txn, int dn_index, SysbenchOp op);
+  void BeginCommit(TxnPtr txn);
+  void SendPrepares(TxnPtr txn);
+  void SendCommits(TxnPtr txn);
+  void AbortAll(TxnPtr txn);
+  void Finish(TxnPtr txn, bool ok);
+
+  sim::Scheduler* sched_;
+  sim::Network* net_;
+  SimClusterConfig config_;
+  std::vector<CnNode> cns_;
+  std::vector<std::unique_ptr<DnNode>> dns_;
+  NodeId tso_node_ = kInvalidNodeId;
+  std::unique_ptr<TsoService> tso_service_;
+  std::unique_ptr<sim::Server> tso_server_;
+  SimClusterStats stats_;
+  TableId table_id_ = 1;
+};
+
+}  // namespace polarx

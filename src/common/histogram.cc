@@ -1,0 +1,83 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace polarx {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(double value) {
+  if (value < 1.0) return 0;
+  // ~16 buckets per power of two.
+  int b = static_cast<int>(std::log2(value) * 16.0) + 1;
+  return std::min(b, kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int bucket) {
+  if (bucket <= 0) return 0;
+  return std::exp2(double(bucket - 1) / 16.0);
+}
+
+void Histogram::Record(double value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * double(count_ - 1)) + 1;
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[i];
+    if (cum >= target) {
+      double lo = BucketLowerBound(i);
+      double hi = BucketLowerBound(i + 1);
+      return std::clamp((lo + hi) / 2.0, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(0.50), Percentile(0.95), Percentile(0.99), max());
+  return buf;
+}
+
+}  // namespace polarx

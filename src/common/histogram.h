@@ -1,0 +1,45 @@
+// Latency/throughput measurement helpers used by benchmarks and the
+// executor's telemetry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polarx {
+
+/// Log-bucketed histogram of non-negative values (typically microseconds).
+/// Records are O(1); percentile queries interpolate within the bucket.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const { return count_ == 0 ? 0 : sum_ / double(count_); }
+
+  /// Value at quantile q in [0,1], e.g. 0.99 for p99.
+  double Percentile(double q) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 256;
+  static int BucketFor(double value);
+  static double BucketLowerBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace polarx

@@ -1,0 +1,62 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace polarx {
+
+namespace {
+
+std::atomic<int> g_level{[] {
+  const char* env = std::getenv("POLARX_LOG_LEVEL");
+  if (env != nullptr) {
+    if (std::strcmp(env, "debug") == 0) return 0;
+    if (std::strcmp(env, "info") == 0) return 1;
+    if (std::strcmp(env, "warn") == 0) return 2;
+    if (std::strcmp(env, "error") == 0) return 3;
+  }
+  return 2;  // warn
+}()};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& msg) {
+  static std::mutex mu;
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               msg.c_str());
+}
+
+}  // namespace internal
+
+}  // namespace polarx

@@ -1,0 +1,38 @@
+// Minimal leveled logging. Defaults to WARN so tests and benchmarks stay
+// quiet; set PolarxLogLevel or POLARX_LOG_LEVEL env to change.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace polarx {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+/// Emits one formatted line to stderr; called by the POLARX_LOG macro.
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& msg);
+}  // namespace internal
+
+}  // namespace polarx
+
+#define POLARX_LOG(level, expr)                                             \
+  do {                                                                      \
+    if (static_cast<int>(::polarx::LogLevel::level) >=                      \
+        static_cast<int>(::polarx::GetLogLevel())) {                        \
+      std::ostringstream _polarx_oss;                                       \
+      _polarx_oss << expr;                                                  \
+      ::polarx::internal::LogLine(::polarx::LogLevel::level, __FILE__,      \
+                                  __LINE__, _polarx_oss.str());             \
+    }                                                                       \
+  } while (0)
+
+#define POLARX_DEBUG(expr) POLARX_LOG(kDebug, expr)
+#define POLARX_INFO(expr) POLARX_LOG(kInfo, expr)
+#define POLARX_WARN(expr) POLARX_LOG(kWarn, expr)
+#define POLARX_ERROR(expr) POLARX_LOG(kError, expr)

@@ -1,0 +1,176 @@
+// Status and Result error-handling primitives, following the RocksDB/Arrow
+// idiom: fallible functions return Status (or Result<T>) instead of throwing.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace polarx {
+
+/// Error categories used across the library. Values are stable and may be
+/// persisted in logs.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kAborted = 3,          // transaction aborted (conflict, lease loss, ...)
+  kBusy = 4,             // resource temporarily unavailable, retry later
+  kCorruption = 5,       // checksum or structural invariant violated
+  kTimedOut = 6,
+  kNotSupported = 7,
+  kInternal = 8,
+  kConflict = 9,         // write-write conflict under snapshot isolation
+  kNotLeader = 10,       // request sent to a non-leader replica
+  kLeaseExpired = 11,    // tenant binding or leader lease no longer held
+  kOutOfRange = 12,
+  kResourceExhausted = 13,  // memory quota / capacity exceeded
+};
+
+/// Returns a human-readable name for a status code ("Ok", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Ok statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an Ok status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Conflict(std::string msg = "") {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status NotLeader(std::string msg = "") {
+    return Status(StatusCode::kNotLeader, std::move(msg));
+  }
+  static Status LeaseExpired(std::string msg = "") {
+    return Status(StatusCode::kLeaseExpired, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsNotLeader() const { return code_ == StatusCode::kNotLeader; }
+  bool IsLeaseExpired() const { return code_ == StatusCode::kLeaseExpired; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-Status union, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value)  // NOLINT(runtime/explicit)
+      : value_(std::move(value)), status_(Status::Ok()) {}
+  /// Implicit construction from a non-ok Status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from Ok status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Internal("uninitialized Result");
+};
+
+}  // namespace polarx
+
+/// Propagates a non-ok Status out of the enclosing function.
+#define POLARX_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::polarx::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// assigns the value into `lhs`.
+#define POLARX_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value();
+
+#define POLARX_CONCAT_INNER(a, b) a##b
+#define POLARX_CONCAT(a, b) POLARX_CONCAT_INNER(a, b)
+
+#define POLARX_ASSIGN_OR_RETURN(lhs, rexpr) \
+  POLARX_ASSIGN_OR_RETURN_IMPL(             \
+      POLARX_CONCAT(_polarx_result_, __LINE__), lhs, rexpr)

@@ -1,0 +1,49 @@
+// Shared identifier and scalar typedefs used across modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace polarx {
+
+/// Log sequence number: byte offset into a redo log stream.
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+inline constexpr Lsn kMaxLsn = std::numeric_limits<Lsn>::max();
+
+/// Globally unique transaction identifier (assigned by the owning engine).
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Hybrid-logical-clock timestamp; see clock/hlc.h for the bit layout.
+using Timestamp = uint64_t;
+inline constexpr Timestamp kInvalidTimestamp = 0;
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+/// Identifier of a node (CN, DN, SN, GMS, TSO) in a cluster / simulation.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = std::numeric_limits<NodeId>::max();
+
+/// Identifier of a datacenter (availability zone).
+using DcId = uint32_t;
+
+/// Identifier of a tenant (a collection of schemas/tables; the unit of
+/// binding to an RW node in PolarDB-MT).
+using TenantId = uint32_t;
+inline constexpr TenantId kInvalidTenantId =
+    std::numeric_limits<TenantId>::max();
+
+/// Identifier of a table within the catalog.
+using TableId = uint32_t;
+
+/// Identifier of a shard (hash partition) of a table.
+using ShardId = uint32_t;
+
+/// Identifier of a page inside a buffer pool / volume.
+using PageId = uint64_t;
+
+/// Identifier of a 10GB chunk inside PolarFS.
+using ChunkId = uint64_t;
+
+}  // namespace polarx

@@ -1,0 +1,468 @@
+#include "src/consensus/paxos.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace polarx {
+
+std::string_view PaxosRoleName(PaxosRole role) {
+  switch (role) {
+    case PaxosRole::kLeader:
+      return "Leader";
+    case PaxosRole::kFollower:
+      return "Follower";
+    case PaxosRole::kLogger:
+      return "Logger";
+    case PaxosRole::kCandidate:
+      return "Candidate";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- group --
+
+PaxosGroup::PaxosGroup(sim::Network* net, PaxosConfig config)
+    : net_(net), config_(config) {}
+
+PaxosMember* PaxosGroup::AddMember(NodeId node, PaxosRole role,
+                                   RedoLog* log) {
+  members_.push_back(std::make_unique<PaxosMember>(this, node, role, log));
+  return members_.back().get();
+}
+
+PaxosMember* PaxosGroup::member(NodeId node) {
+  for (auto& m : members_) {
+    if (m->node() == node) return m.get();
+  }
+  return nullptr;
+}
+
+PaxosMember* PaxosGroup::CurrentLeader() {
+  for (auto& m : members_) {
+    if (m->is_leader() && net_->IsNodeUp(m->node())) return m.get();
+  }
+  return nullptr;
+}
+
+void PaxosGroup::Start() {
+  for (auto& m : members_) {
+    if (m->is_leader()) {
+      m->BecomeLeader();
+    } else {
+      m->ResetElectionTimer();
+    }
+  }
+}
+
+// --------------------------------------------------------------- member --
+
+PaxosMember::PaxosMember(PaxosGroup* group, NodeId node, PaxosRole role,
+                         RedoLog* log)
+    : group_(group),
+      node_(node),
+      role_(role),
+      base_role_(role == PaxosRole::kLogger ? PaxosRole::kLogger
+                                            : PaxosRole::kFollower),
+      log_(log) {
+  last_heard_ = group_->scheduler()->Now();
+}
+
+void PaxosMember::BecomeLeader() {
+  role_ = PaxosRole::kLeader;
+  if (epoch_ == 0) epoch_ = 1;
+  ++timer_generation_;
+  peers_.clear();
+  Lsn end = log_->current_lsn();
+  for (auto& m : group_->members()) {
+    if (m->node() == node_) continue;
+    PeerProgress p;
+    p.next_lsn = end;
+    p.match_lsn = 1;
+    peers_[m->node()] = p;
+  }
+  POLARX_INFO("node " << node_ << " becomes leader at epoch " << epoch_);
+  SendHeartbeats();
+}
+
+void PaxosMember::NotifyNewData() {
+  if (role_ != PaxosRole::kLeader) return;
+  // Leader's own persistence is modeled by the external appender calling
+  // MarkFlushed; here we just push to peers.
+  for (auto& [peer, progress] : peers_) ReplicateTo(peer);
+  RecomputeDlsn();
+}
+
+MtrHandle PaxosMember::Append(const std::vector<RedoRecord>& records) {
+  MtrHandle h = log_->AppendMtr(records);
+  uint64_t gen = timer_generation_;
+  group_->scheduler()->ScheduleAfter(
+      group_->config().flush_latency_us, [this, h, gen] {
+        log_->MarkFlushed(h.end_lsn);
+        if (gen == timer_generation_ && role_ == PaxosRole::kLeader) {
+          RecomputeDlsn();
+        }
+      });
+  NotifyNewData();
+  return h;
+}
+
+void PaxosMember::ReplicateTo(NodeId follower) {
+  if (role_ != PaxosRole::kLeader) return;
+  if (!group_->network()->IsNodeUp(node_)) return;
+  const PaxosConfig& cfg = group_->config();
+  auto it = peers_.find(follower);
+  if (it == peers_.end()) return;
+  PeerProgress& p = it->second;
+
+  size_t window = cfg.pipelining ? cfg.max_inflight : 1;
+  while (p.inflight < window) {
+    Lsn end = log_->current_lsn();
+    if (p.next_lsn >= end) break;
+    Lsn chunk_end = log_->ChunkEnd(p.next_lsn, cfg.max_batch_bytes);
+    if (chunk_end <= p.next_lsn) break;
+
+    AppendFrame frame;
+    frame.epoch = epoch_;
+    std::string payload;
+    log_->ReadBytes(p.next_lsn, chunk_end, &payload);
+    if (payload.empty()) break;  // purged or raced; heartbeat will repair
+    frame.meta.epoch = epoch_;
+    frame.meta.index = ++paxos_index_;
+    frame.meta.range_start = p.next_lsn;
+    frame.meta.range_end = chunk_end;
+    frame.meta.checksum = Crc32(payload.data(), payload.size());
+    frame.payload = std::move(payload);
+    frame.leader_dlsn = dlsn_;
+
+    p.next_lsn = chunk_end;
+    ++p.inflight;
+    ++frames_sent_;
+    NodeId self = node_;
+    PaxosGroup* group = group_;
+    // 64 bytes of MLOG_PAXOS framing plus the MTR payload (§III).
+    group_->network()->Send(
+        node_, follower, 64 + frame.payload.size(),
+        [group, self, follower, frame = std::move(frame)]() mutable {
+          PaxosMember* m = group->member(follower);
+          if (m != nullptr) m->HandleAppend(self, frame);
+        });
+  }
+}
+
+void PaxosMember::HandleAppend(NodeId from, const AppendFrame& frame) {
+  if (!group_->network()->IsNodeUp(node_)) return;
+  ++frames_received_;
+  AppendAck ack;
+  ack.epoch = epoch_;
+  ack.ok = false;
+  ack.persisted_lsn = log_->current_lsn();
+
+  if (frame.epoch < epoch_) {
+    // Stale leader: reject with our epoch so it steps down.
+    group_->network()->Send(node_, from, 32, [this, from, ack] {
+      PaxosMember* m = group_->member(from);
+      if (m != nullptr) m->HandleAck(node_, ack);
+    });
+    return;
+  }
+  if (frame.epoch > epoch_ ||
+      role_ == PaxosRole::kLeader || role_ == PaxosRole::kCandidate) {
+    StepDown(frame.epoch);
+  }
+  last_heard_ = group_->scheduler()->Now();
+
+  Lsn expected = log_->current_lsn();
+  bool fail = false;
+  bool new_epoch = frame.meta.epoch > last_append_epoch_;
+  if (frame.meta.range_start > expected) {
+    fail = true;  // gap (e.g. out-of-order delivery): leader rewinds to us
+  } else if (frame.meta.range_end <= expected &&
+             frame.meta.range_end > frame.meta.range_start && !new_epoch) {
+    // Same-epoch duplicate: the bytes are already here.
+  } else if (Crc32(frame.payload.data(), frame.payload.size()) !=
+             frame.meta.checksum) {
+    fail = true;
+  } else if (frame.meta.range_start < expected) {
+    if (new_epoch) {
+      // First frame from a new leader overlapping our tail: our suffix may
+      // diverge (it was never majority-acked); replace it.
+      if (frame.meta.range_start < dlsn_) {
+        POLARX_WARN("node " << node_ << " asked to truncate below dlsn");
+        fail = true;
+      } else {
+        log_->TruncateTo(frame.meta.range_start);
+        log_->AppendRaw(frame.payload);
+      }
+    } else {
+      // Same-epoch overlap (duplicate/reordered resend): byte streams are
+      // identical within an epoch, so append only the missing suffix.
+      if (frame.meta.range_end > expected) {
+        log_->AppendRaw(frame.payload.substr(expected -
+                                             frame.meta.range_start));
+      }
+    }
+  } else if (frame.meta.range_end > frame.meta.range_start) {
+    log_->AppendRaw(frame.payload);
+  }
+  if (!fail && frame.meta.range_end > frame.meta.range_start) {
+    last_append_epoch_ = frame.meta.epoch;
+  }
+
+  Lsn new_end = log_->current_lsn();
+  ack.epoch = epoch_;
+  ack.ok = !fail;
+  ack.persisted_lsn = fail ? expected : new_end;
+
+  // DLSN can only cover what we locally hold.
+  AdvanceDlsn(std::min(frame.leader_dlsn, new_end));
+
+  // Persist to PolarFS (flush latency), then ack.
+  NodeId self = node_;
+  PaxosGroup* group = group_;
+  group_->scheduler()->ScheduleAfter(
+      group_->config().flush_latency_us, [group, self, from, ack, new_end] {
+        PaxosMember* me = group->member(self);
+        if (me == nullptr || !group->network()->IsNodeUp(self)) return;
+        me->log_->MarkFlushed(new_end);
+        group->network()->Send(self, from, 32, [group, self, from, ack] {
+          PaxosMember* leader = group->member(from);
+          if (leader != nullptr) leader->HandleAck(self, ack);
+        });
+      });
+}
+
+void PaxosMember::HandleAck(NodeId follower, const AppendAck& ack) {
+  if (!group_->network()->IsNodeUp(node_)) return;
+  if (ack.epoch > epoch_) {
+    StepDown(ack.epoch);
+    return;
+  }
+  if (role_ != PaxosRole::kLeader) return;
+  auto it = peers_.find(follower);
+  if (it == peers_.end()) return;
+  PeerProgress& p = it->second;
+  if (p.inflight > 0) --p.inflight;
+  if (ack.ok) {
+    p.match_lsn = std::max(p.match_lsn, ack.persisted_lsn);
+    RecomputeDlsn();
+  } else {
+    // Rewind to the follower's actual end and retry.
+    p.next_lsn = std::min(ack.persisted_lsn, log_->current_lsn());
+  }
+  ReplicateTo(follower);
+}
+
+void PaxosMember::RecomputeDlsn() {
+  if (role_ != PaxosRole::kLeader) return;
+  std::vector<Lsn> persisted;
+  persisted.push_back(log_->flushed_lsn());  // leader's own local flush
+  for (auto& [peer, p] : peers_) persisted.push_back(p.match_lsn);
+  std::sort(persisted.rbegin(), persisted.rend());
+  Lsn majority = persisted[group_->Quorum() - 1];
+  AdvanceDlsn(majority);
+}
+
+void PaxosMember::AdvanceDlsn(Lsn new_dlsn) {
+  if (new_dlsn <= dlsn_) return;
+  dlsn_ = new_dlsn;
+  ApplyUpTo(dlsn_);
+  for (auto& fn : dlsn_callbacks_) fn(dlsn_);
+}
+
+void PaxosMember::ApplyUpTo(Lsn lsn) {
+  if (role_ == PaxosRole::kLogger) return;  // loggers hold no data
+  if (apply_fn_ == nullptr) {
+    applied_lsn_ = std::max(applied_lsn_, lsn);
+    return;
+  }
+  if (lsn <= applied_lsn_) return;
+  std::vector<RedoRecord> records;
+  Status s = log_->ReadRecords(applied_lsn_, lsn, &records);
+  if (!s.ok()) {
+    POLARX_ERROR("apply failed on node " << node_ << ": " << s.ToString());
+    return;
+  }
+  for (const auto& rec : records) apply_fn_(rec);
+  applied_lsn_ = lsn;
+}
+
+void PaxosMember::SendHeartbeats() {
+  if (role_ != PaxosRole::kLeader) return;
+  if (group_->network()->IsNodeUp(node_)) {
+    for (auto& [peer, p] : peers_) {
+      // Data frames double as heartbeats; otherwise send an empty frame
+      // carrying the current DLSN.
+      if (p.next_lsn < log_->current_lsn()) {
+        ReplicateTo(peer);
+        continue;
+      }
+      AppendFrame frame;
+      frame.epoch = epoch_;
+      frame.meta.epoch = epoch_;
+      frame.meta.range_start = p.next_lsn;
+      frame.meta.range_end = p.next_lsn;
+      frame.meta.checksum = 0;
+      frame.leader_dlsn = dlsn_;
+      NodeId self = node_;
+      PaxosGroup* group = group_;
+      NodeId target = peer;
+      group_->network()->Send(node_, peer, 64,
+                              [group, self, target, frame] {
+                                PaxosMember* m = group->member(target);
+                                if (m != nullptr) m->HandleAppend(self, frame);
+                              });
+    }
+  }
+  uint64_t gen = timer_generation_;
+  group_->scheduler()->ScheduleAfter(group_->config().heartbeat_us,
+                                     [this, gen] {
+                                       if (gen != timer_generation_) return;
+                                       if (role_ == PaxosRole::kLeader) {
+                                         SendHeartbeats();
+                                       }
+                                     });
+}
+
+void PaxosMember::ResetElectionTimer() {
+  uint64_t gen = ++timer_generation_;
+  // Jitter the timeout per node so elections rarely collide.
+  Rng rng(node_ * 7919 + epoch_ * 104729 + 13);
+  sim::SimTime timeout = group_->config().election_timeout_us;
+  timeout += rng.Uniform(timeout);  // [T, 2T)
+  group_->scheduler()->ScheduleAfter(
+      timeout, [this, gen] { MaybeStartElection(gen); });
+}
+
+void PaxosMember::MaybeStartElection(uint64_t timer_generation) {
+  if (timer_generation != timer_generation_) return;
+  if (role_ == PaxosRole::kLeader) return;
+  if (!group_->network()->IsNodeUp(node_)) {
+    ResetElectionTimer();
+    return;
+  }
+  sim::SimTime now = group_->scheduler()->Now();
+  sim::SimTime lease = group_->config().election_timeout_us;
+  if (now - last_heard_ < lease) {
+    ResetElectionTimer();  // leader lease still fresh
+    return;
+  }
+  if (base_role_ == PaxosRole::kLogger) {
+    // Loggers vote but never stand for election (§III).
+    ResetElectionTimer();
+    return;
+  }
+  // Stand for election.
+  role_ = PaxosRole::kCandidate;
+  ++epoch_;
+  voted_epoch_ = epoch_;
+  votes_received_ = 1;  // self-vote
+  ++elections_started_;
+  POLARX_INFO("node " << node_ << " starts election for epoch " << epoch_);
+  VoteRequest req{epoch_, log_->current_lsn()};
+  for (auto& m : group_->members()) {
+    if (m->node() == node_) continue;
+    NodeId self = node_;
+    NodeId target = m->node();
+    PaxosGroup* group = group_;
+    group_->network()->Send(node_, target, 32, [group, self, target, req] {
+      PaxosMember* peer = group->member(target);
+      if (peer != nullptr) peer->HandleVoteRequest(self, req);
+    });
+  }
+  ResetElectionTimer();  // retry with a fresh epoch if this one stalls
+}
+
+void PaxosMember::HandleVoteRequest(NodeId from, const VoteRequest& req) {
+  if (!group_->network()->IsNodeUp(node_)) return;
+  bool granted = false;
+  sim::SimTime now = group_->scheduler()->Now();
+  bool lease_fresh =
+      role_ != PaxosRole::kCandidate &&
+      now - last_heard_ < group_->config().election_timeout_us;
+  if (req.epoch > epoch_ && !lease_fresh) {
+    StepDown(req.epoch);
+    // Grant only to candidates whose log is at least as complete as ours:
+    // this is what guarantees the new leader holds everything below DLSN.
+    if (voted_epoch_ < req.epoch && req.log_end >= log_->current_lsn()) {
+      voted_epoch_ = req.epoch;
+      granted = true;
+    }
+  }
+  VoteReply reply{epoch_, granted};
+  NodeId self = node_;
+  PaxosGroup* group = group_;
+  group_->network()->Send(node_, from, 32, [group, self, from, reply] {
+    PaxosMember* candidate = group->member(from);
+    if (candidate != nullptr) candidate->HandleVoteReply(self, reply);
+  });
+}
+
+void PaxosMember::HandleVoteReply(NodeId /*from*/, const VoteReply& reply) {
+  if (!group_->network()->IsNodeUp(node_)) return;
+  if (reply.epoch > epoch_) {
+    StepDown(reply.epoch);
+    return;
+  }
+  if (role_ != PaxosRole::kCandidate || reply.epoch != epoch_ ||
+      !reply.granted) {
+    return;
+  }
+  ++votes_received_;
+  if (votes_received_ >= group_->Quorum()) BecomeLeader();
+}
+
+void PaxosMember::StepDown(uint64_t new_epoch) {
+  bool was_leader = role_ == PaxosRole::kLeader;
+  epoch_ = std::max(epoch_, new_epoch);
+  if (role_ == PaxosRole::kLeader || role_ == PaxosRole::kCandidate) {
+    role_ = base_role_;
+    peers_.clear();
+  }
+  if (was_leader) {
+    // §III old-leader cleanup: entries beyond DLSN may not exist on the new
+    // leader; discard them (the buffer-pool dirty pages are discarded by
+    // the DN wrapper via the same truncation point).
+    log_->TruncateTo(dlsn_);
+    POLARX_INFO("node " << node_ << " deposed; truncated to dlsn " << dlsn_);
+  }
+  ResetElectionTimer();
+}
+
+void PaxosMember::Recover() {
+  role_ = base_role_;
+  peers_.clear();
+  // §III: a recovering follower discards un-durable suffix so it never
+  // applies entries beyond DLSN that a new leader may have truncated.
+  log_->TruncateTo(std::max(dlsn_, log_->purged_before()));
+  last_heard_ = group_->scheduler()->Now();
+  ResetElectionTimer();
+}
+
+// ----------------------------------------------------- async committer --
+
+AsyncCommitter::AsyncCommitter(PaxosMember* member) : member_(member) {
+  member_->OnDlsnAdvance([this](Lsn dlsn) { OnDlsn(dlsn); });
+}
+
+void AsyncCommitter::Submit(Lsn end_lsn, std::function<void()> done) {
+  if (member_->dlsn() >= end_lsn) {
+    ++completed_;
+    done();
+    return;
+  }
+  pending_.emplace(end_lsn, std::move(done));
+}
+
+void AsyncCommitter::OnDlsn(Lsn dlsn) {
+  auto end = pending_.upper_bound(dlsn);
+  for (auto it = pending_.begin(); it != end; ++it) {
+    ++completed_;
+    it->second();
+  }
+  pending_.erase(pending_.begin(), end);
+}
+
+}  // namespace polarx

@@ -1,0 +1,242 @@
+// Paxos-with-leader-lease replication of the redo log stream across
+// datacenters (§III). One PaxosGroup replicates one DN's redo log:
+//
+//  - Leader: executes transactions (its RedoLog is appended externally),
+//    streams redo bytes to followers in MLOG_PAXOS-framed batches
+//    (<= 16 KB of MTR payload per frame), pipelined without waiting for
+//    prior acks.
+//  - Follower: persists received bytes to its local log (modeled PolarFS
+//    flush latency), acks, and applies records only up to DLSN.
+//  - Logger: like a follower but holds no data and can never become leader;
+//    it votes and its persisted log counts toward the majority.
+//
+// DLSN (durable LSN) is the majority-persisted watermark: entries below it
+// survive any single-DC disaster. Transaction commit completion is driven
+// by DLSN advancement (asynchronous commit, see AsyncCommitter), and the
+// buffer pool may only flush pages whose newest modification <= DLSN.
+//
+// Election follows the leader-lease discipline: followers only start an
+// election after the lease (no heartbeat for election_timeout) expires, and
+// grant votes only to candidates whose log is at least as long as theirs.
+// A deposed leader truncates its unacknowledged suffix and discards the
+// corresponding dirty pages (§III "memory state cleaning").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/network.h"
+#include "src/sim/scheduler.h"
+#include "src/storage/redo.h"
+
+namespace polarx {
+
+enum class PaxosRole : uint8_t { kLeader, kFollower, kLogger, kCandidate };
+
+std::string_view PaxosRoleName(PaxosRole role);
+
+struct PaxosConfig {
+  /// Max MTR payload bytes per MLOG_PAXOS frame (§III: 16 KB).
+  size_t max_batch_bytes = 16 * 1024;
+  /// If false, each frame waits for the previous frame's ack (A2 ablation).
+  bool pipelining = true;
+  /// Max frames in flight per follower when pipelining.
+  size_t max_inflight = 64;
+  /// Simulated local PolarFS append latency for persisting received log.
+  sim::SimTime flush_latency_us = 40;
+  /// Leader heartbeat period (also carries DLSN advancement).
+  sim::SimTime heartbeat_us = 20 * 1000;
+  /// Follower election timeout (lease length); randomized +-50% per node.
+  sim::SimTime election_timeout_us = 150 * 1000;
+};
+
+class PaxosGroup;
+
+/// One replica of the group.
+class PaxosMember {
+ public:
+  PaxosMember(PaxosGroup* group, NodeId node, PaxosRole role,
+              RedoLog* log);
+
+  NodeId node() const { return node_; }
+  PaxosRole role() const { return role_; }
+  uint64_t epoch() const { return epoch_; }
+  Lsn dlsn() const { return dlsn_; }
+  RedoLog* log() { return log_; }
+  bool is_leader() const { return role_ == PaxosRole::kLeader; }
+
+  /// Applied watermark: records below this have been handed to apply_fn.
+  Lsn applied_lsn() const { return applied_lsn_; }
+
+  /// Called by the group/leader-side driver when new bytes were appended to
+  /// the leader's log; triggers replication.
+  void NotifyNewData();
+
+  /// Leader-side convenience: appends an MTR to the local log, schedules the
+  /// local PolarFS flush (after which it counts toward the majority), and
+  /// kicks replication. Returns the MTR handle (commit completion should be
+  /// parked on handle.end_lsn via AsyncCommitter).
+  MtrHandle Append(const std::vector<RedoRecord>& records);
+
+  /// Installs a callback fired whenever this member's DLSN advances
+  /// (async commit wakes up from here).
+  void OnDlsnAdvance(std::function<void(Lsn)> fn) {
+    dlsn_callbacks_.push_back(std::move(fn));
+  }
+
+  /// Installs the apply hook: receives each redo record as it becomes
+  /// applicable (i.e. once covered by DLSN).
+  void SetApplyFn(std::function<void(const RedoRecord&)> fn) {
+    apply_fn_ = std::move(fn);
+  }
+
+  /// Called after a crash/restart to rejoin with cleaned state.
+  void Recover();
+
+  /// Telemetry.
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t frames_received() const { return frames_received_; }
+  uint64_t elections_started() const { return elections_started_; }
+
+ private:
+  friend class PaxosGroup;
+
+  struct AppendFrame {
+    uint64_t epoch;
+    PaxosMeta meta;       // the MLOG_PAXOS framing record
+    std::string payload;  // raw redo bytes [meta.range_start, meta.range_end)
+    Lsn leader_dlsn;
+  };
+  struct AppendAck {
+    uint64_t epoch;
+    bool ok;
+    Lsn persisted_lsn;  // follower log end after this frame
+  };
+  struct VoteRequest {
+    uint64_t epoch;
+    Lsn log_end;
+  };
+  struct VoteReply {
+    uint64_t epoch;
+    bool granted;
+  };
+
+  // -- leader side --
+  void BecomeLeader();
+  void ReplicateTo(NodeId follower);
+  void HandleAck(NodeId follower, const AppendAck& ack);
+  void RecomputeDlsn();
+  void SendHeartbeats();
+
+  // -- follower side --
+  void HandleAppend(NodeId from, const AppendFrame& frame);
+  void AdvanceDlsn(Lsn new_dlsn);
+  void ApplyUpTo(Lsn lsn);
+  void ResetElectionTimer();
+  void MaybeStartElection(uint64_t timer_generation);
+  void HandleVoteRequest(NodeId from, const VoteRequest& req);
+  void HandleVoteReply(NodeId from, const VoteReply& reply);
+  void StepDown(uint64_t new_epoch);
+
+  PaxosGroup* group_;
+  NodeId node_;
+  PaxosRole role_;
+  PaxosRole base_role_;  // kFollower or kLogger (what we revert to)
+  RedoLog* log_;
+
+  uint64_t epoch_ = 0;
+  uint64_t voted_epoch_ = 0;
+  /// Epoch of the last frame whose payload we appended (same-epoch overlaps
+  /// are identical bytes; truncation only applies on epoch change).
+  uint64_t last_append_epoch_ = 0;
+  Lsn dlsn_ = 1;
+  Lsn applied_lsn_ = 1;
+
+  // Leader replication state.
+  struct PeerProgress {
+    Lsn next_lsn = 1;      // next byte to send
+    Lsn match_lsn = 1;     // highest acked persisted lsn
+    size_t inflight = 0;   // frames awaiting ack
+  };
+  std::map<NodeId, PeerProgress> peers_;
+  uint64_t paxos_index_ = 0;
+
+  // Election state.
+  uint64_t timer_generation_ = 0;
+  sim::SimTime last_heard_ = 0;
+  size_t votes_received_ = 0;
+
+  std::vector<std::function<void(Lsn)>> dlsn_callbacks_;
+  std::function<void(const RedoRecord&)> apply_fn_;
+
+  uint64_t frames_sent_ = 0;
+  uint64_t frames_received_ = 0;
+  uint64_t elections_started_ = 0;
+};
+
+/// The replication group: owns membership and wiring to the sim network.
+class PaxosGroup {
+ public:
+  PaxosGroup(sim::Network* net, PaxosConfig config = {});
+
+  /// Adds a member on network node `node` with its own redo log. The first
+  /// member added with role kFollower/kLeader order: pass kLeader for the
+  /// initial leader. Loggers hold a log but never data/apply.
+  PaxosMember* AddMember(NodeId node, PaxosRole role, RedoLog* log);
+
+  /// Starts timers (heartbeats, election timers). Call once after members
+  /// are added.
+  void Start();
+
+  PaxosMember* member(NodeId node);
+  const std::vector<std::unique_ptr<PaxosMember>>& members() const {
+    return members_;
+  }
+  /// The current leader if any member believes it is leader, else nullptr.
+  PaxosMember* CurrentLeader();
+
+  sim::Network* network() { return net_; }
+  sim::Scheduler* scheduler() { return net_->scheduler(); }
+  const PaxosConfig& config() const { return config_; }
+
+  /// Majority size (counting all members incl. loggers).
+  size_t Quorum() const { return members_.size() / 2 + 1; }
+
+ private:
+  friend class PaxosMember;
+  sim::Network* net_;
+  PaxosConfig config_;
+  std::vector<std::unique_ptr<PaxosMember>> members_;
+};
+
+/// The paper's async_log_committer (§III): transactions park their
+/// completion callbacks keyed by their last MTR's end LSN; DLSN advancement
+/// releases them in order, so foreground threads never block on cross-DC
+/// round trips.
+class AsyncCommitter {
+ public:
+  /// Attaches to a member's DLSN notifications.
+  explicit AsyncCommitter(PaxosMember* member);
+
+  /// Registers a transaction whose last MTR ends at `end_lsn`; `done` fires
+  /// once DLSN >= end_lsn (immediately if already durable).
+  void Submit(Lsn end_lsn, std::function<void()> done);
+
+  size_t pending() const { return pending_.size(); }
+  uint64_t completed() const { return completed_; }
+
+ private:
+  void OnDlsn(Lsn dlsn);
+
+  PaxosMember* member_;
+  std::multimap<Lsn, std::function<void()>> pending_;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace polarx

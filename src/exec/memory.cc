@@ -1,0 +1,105 @@
+#include "src/exec/memory.h"
+
+#include <algorithm>
+
+namespace polarx {
+
+MemoryBroker::MemoryBroker(MemoryConfig config) : config_(config) {
+  uint64_t fixed = config_.reserved_bytes + config_.other_bytes +
+                   config_.tp_min + config_.ap_min;
+  headroom_ = config_.total_bytes > fixed ? config_.total_bytes - fixed : 0;
+}
+
+Status MemoryBroker::Reserve(MemRegion region, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (region) {
+    case MemRegion::kReserved:
+      if (used_[3] + bytes > config_.reserved_bytes) {
+        return Status::ResourceExhausted("reserved region full");
+      }
+      used_[3] += bytes;
+      return Status::Ok();
+    case MemRegion::kOther:
+      if (used_[2] + bytes > config_.other_bytes) {
+        return Status::ResourceExhausted("other region full");
+      }
+      used_[2] += bytes;
+      return Status::Ok();
+    case MemRegion::kTp: {
+      uint64_t new_used = used_[0] + bytes;
+      if (new_used <= config_.tp_min) {
+        used_[0] = new_used;
+        return Status::Ok();
+      }
+      // Need headroom; TP may preempt AP's share of it (but not AP's
+      // guaranteed minimum).
+      uint64_t need_from_headroom = new_used - config_.tp_min;
+      uint64_t available =
+          headroom_ > ap_from_headroom_ ? headroom_ - ap_from_headroom_ : 0;
+      // Preemption: AP-held headroom is reclaimable on demand (§VI-D: "AP
+      // Memory must immediately release the preempted memory").
+      uint64_t reclaimable = available + ap_from_headroom_;
+      if (need_from_headroom > reclaimable) {
+        return Status::ResourceExhausted("TP memory exhausted");
+      }
+      if (need_from_headroom > available) {
+        uint64_t take = need_from_headroom - available;
+        ap_from_headroom_ -= take;
+        // The AP side's usage shrinks correspondingly (its operators see
+        // failed reservations / forced spills).
+        used_[1] = used_[1] > take ? used_[1] - take : 0;
+      }
+      tp_from_headroom_ = std::max(tp_from_headroom_, need_from_headroom);
+      used_[0] = new_used;
+      return Status::Ok();
+    }
+    case MemRegion::kAp: {
+      uint64_t new_used = used_[1] + bytes;
+      if (new_used <= config_.ap_min) {
+        used_[1] = new_used;
+        return Status::Ok();
+      }
+      uint64_t need_from_headroom = new_used - config_.ap_min;
+      uint64_t available =
+          headroom_ > tp_from_headroom_ ? headroom_ - tp_from_headroom_ : 0;
+      // AP may NOT preempt TP-held headroom.
+      if (need_from_headroom > available) {
+        return Status::ResourceExhausted("AP memory exhausted (TP preempted)");
+      }
+      ap_from_headroom_ = std::max(ap_from_headroom_, need_from_headroom);
+      used_[1] = new_used;
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("bad region");
+}
+
+void MemoryBroker::Release(MemRegion region, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int idx = static_cast<int>(region);
+  used_[idx] = used_[idx] > bytes ? used_[idx] - bytes : 0;
+  if (region == MemRegion::kTp) {
+    uint64_t over = used_[0] > config_.tp_min ? used_[0] - config_.tp_min : 0;
+    tp_from_headroom_ = std::min(tp_from_headroom_, over);
+  } else if (region == MemRegion::kAp) {
+    uint64_t over = used_[1] > config_.ap_min ? used_[1] - config_.ap_min : 0;
+    ap_from_headroom_ = std::min(ap_from_headroom_, over);
+  }
+}
+
+uint64_t MemoryBroker::used(MemRegion region) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_[static_cast<int>(region)];
+}
+
+uint64_t MemoryBroker::tp_preempted_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tp_from_headroom_;
+}
+
+uint64_t MemoryBroker::headroom_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return headroom_;
+}
+
+}  // namespace polarx

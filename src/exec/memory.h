@@ -1,0 +1,53 @@
+// Heap-memory regions of a CN node (§VI-D): TP Memory, AP Memory, Other,
+// and System Reserved. TP and AP have min/max limits and preempt each other
+// asymmetrically:
+//   - TP may preempt AP's headroom; it releases preempted memory only when
+//     its query completes.
+//   - AP must release preempted memory immediately when TP requests it —
+//     modeled by AP reservations failing (ResourceExhausted) while TP holds
+//     the preempted headroom; the AP operator then spills or waits.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/status.h"
+
+namespace polarx {
+
+enum class MemRegion : uint8_t { kTp = 0, kAp = 1, kOther = 2, kReserved = 3 };
+
+struct MemoryConfig {
+  uint64_t total_bytes = 8ULL << 30;
+  uint64_t reserved_bytes = 512ULL << 20;   // System Reserved
+  uint64_t other_bytes = 512ULL << 20;      // metadata, temp objects
+  uint64_t tp_min = 1ULL << 30;             // guaranteed to TP
+  uint64_t ap_min = 1ULL << 30;             // guaranteed to AP
+  // tp_max / ap_max are the guaranteed minimum plus the shared headroom.
+};
+
+class MemoryBroker {
+ public:
+  explicit MemoryBroker(MemoryConfig config = MemoryConfig{});
+
+  /// Reserves `bytes` for a region. TP reservations may preempt AP
+  /// headroom; AP reservations fail once TP has claimed it.
+  Status Reserve(MemRegion region, uint64_t bytes);
+
+  void Release(MemRegion region, uint64_t bytes);
+
+  uint64_t used(MemRegion region) const;
+  /// Shared headroom bytes currently preempted by TP.
+  uint64_t tp_preempted_bytes() const;
+  uint64_t headroom_bytes() const;
+
+ private:
+  MemoryConfig config_;
+  mutable std::mutex mu_;
+  uint64_t used_[4] = {0, 0, 0, 0};
+  uint64_t headroom_ = 0;       // shared pool size
+  uint64_t tp_from_headroom_ = 0;
+  uint64_t ap_from_headroom_ = 0;
+};
+
+}  // namespace polarx

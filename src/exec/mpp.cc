@@ -1,0 +1,62 @@
+#include "src/exec/mpp.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace polarx {
+
+Result<std::vector<Row>> MppExecutor::RunParallel(
+    int num_tasks, const FragmentFactory& factory) {
+  std::mutex mu;
+  std::vector<Row> all;
+  Status first_error;
+  std::atomic<int> remaining{num_tasks};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  for (int t = 0; t < num_tasks; ++t) {
+    pool_->Submit([&, t] {
+      OperatorPtr fragment = factory(t, num_tasks);
+      Result<std::vector<Row>> rows = Collect(fragment.get());
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!rows.ok()) {
+          if (first_error.ok()) first_error = rows.status();
+        } else {
+          for (auto& r : *rows) all.push_back(std::move(r));
+        }
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  }
+  if (!first_error.ok()) return first_error;
+  return all;
+}
+
+Result<std::vector<Row>> MppExecutor::RunPartialFinal(
+    int num_tasks, const FragmentFactory& partial_factory,
+    const std::function<OperatorPtr(OperatorPtr gathered)>& merge_factory) {
+  POLARX_ASSIGN_OR_RETURN(std::vector<Row> partials,
+                          RunParallel(num_tasks, partial_factory));
+  OperatorPtr merge =
+      merge_factory(std::make_unique<ValuesOp>(std::move(partials)));
+  return Collect(merge.get());
+}
+
+std::vector<TableStore*> MppExecutor::ShardsForTask(
+    const std::vector<TableStore*>& shards, int task, int num_tasks) {
+  std::vector<TableStore*> mine;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (static_cast<int>(i % num_tasks) == task) mine.push_back(shards[i]);
+  }
+  return mine;
+}
+
+}  // namespace polarx

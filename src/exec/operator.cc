@@ -1,0 +1,586 @@
+#include "src/exec/operator.h"
+
+#include <algorithm>
+
+#include "src/storage/mvcc.h"
+
+namespace polarx {
+
+namespace {
+
+Row ProjectRow(const Row& row, const std::vector<int>& projection) {
+  if (projection.empty()) return row;
+  Row out;
+  out.reserve(projection.size());
+  for (int c : projection) out.push_back(row[c]);
+  return out;
+}
+
+/// Hashable group/join key: encoded values (exact, order irrelevant).
+std::string EncodeCells(const Row& row, const std::vector<int>& cols) {
+  EncodedKey key;
+  for (int c : cols) EncodeValue(row[c], &key);
+  return key;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> Collect(Operator* op) {
+  POLARX_RETURN_NOT_OK(op->Open());
+  std::vector<Row> rows;
+  Batch batch;
+  for (;;) {
+    POLARX_RETURN_NOT_OK(op->Next(&batch));
+    if (batch.empty()) break;
+    for (auto& r : batch.rows) rows.push_back(std::move(r));
+  }
+  op->Close();
+  return rows;
+}
+
+// ------------------------------------------------------------ TableScan --
+
+TableScanOp::TableScanOp(std::vector<TableStore*> shards,
+                         Timestamp snapshot_ts, ExprPtr filter,
+                         std::vector<int> projection)
+    : shards_(std::move(shards)),
+      snapshot_ts_(snapshot_ts),
+      filter_(std::move(filter)),
+      projection_(std::move(projection)) {}
+
+Status TableScanOp::Open() {
+  shard_index_ = 0;
+  cursor_ = range_from_;
+  return Status::Ok();
+}
+
+Status TableScanOp::Next(Batch* out) {
+  out->rows.clear();
+  while (shard_index_ < shards_.size() && out->rows.size() < kExecBatchSize) {
+    TableStore* shard = shards_[shard_index_];
+    EncodedKey last;
+    size_t before = out->rows.size();
+    shard->rows().ScanRange(
+        cursor_, range_to_,
+        [&](const EncodedKey& key, const VersionPtr& head) {
+          last = key;
+          const Version* v = LatestVisible(head, snapshot_ts_);
+          if (v != nullptr && !v->deleted) {
+            if (filter_ == nullptr || filter_->EvalBool(v->row)) {
+              out->rows.push_back(ProjectRow(v->row, projection_));
+            }
+          }
+          return out->rows.size() < kExecBatchSize;
+        });
+    if (out->rows.size() >= kExecBatchSize) {
+      // Resume strictly after the last visited key next time.
+      cursor_ = last + '\0';
+      break;
+    }
+    // Shard exhausted (the scan visited everything without filling the
+    // batch, or produced nothing new past the cursor).
+    if (out->rows.size() == before && !last.empty() &&
+        last + '\0' != cursor_) {
+      // Keys were visited but all filtered out; continue within the shard.
+      cursor_ = last + '\0';
+      continue;
+    }
+    ++shard_index_;
+    cursor_ = range_from_;
+  }
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------ IndexScan --
+
+IndexScanOp::IndexScanOp(TableStore* table, LocalIndex* index,
+                         EncodedKey from, EncodedKey to,
+                         Timestamp snapshot_ts, ExprPtr filter)
+    : table_(table),
+      index_(index),
+      from_(std::move(from)),
+      to_(std::move(to)),
+      snapshot_ts_(snapshot_ts),
+      filter_(std::move(filter)) {}
+
+Status IndexScanOp::Open() {
+  pks_ = index_->Lookup(from_, to_);
+  pos_ = 0;
+  return Status::Ok();
+}
+
+Status IndexScanOp::Next(Batch* out) {
+  out->rows.clear();
+  while (pos_ < pks_.size() && out->rows.size() < kExecBatchSize) {
+    const EncodedKey& pk = pks_[pos_++];
+    const Version* v = LatestVisible(table_->rows().Head(pk), snapshot_ts_);
+    if (v != nullptr && !v->deleted) {
+      // Re-validate: index entries may be stale.
+      if (filter_ == nullptr || filter_->EvalBool(v->row)) {
+        out->rows.push_back(v->row);
+      }
+    }
+  }
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------- Values --
+
+Status ValuesOp::Next(Batch* out) {
+  out->rows.clear();
+  while (pos_ < source_.size() && out->rows.size() < kExecBatchSize) {
+    out->rows.push_back(source_[pos_++]);
+  }
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------- Filter --
+
+Status FilterOp::Next(Batch* out) {
+  out->rows.clear();
+  Batch in;
+  while (out->rows.empty()) {
+    POLARX_RETURN_NOT_OK(child_->Next(&in));
+    if (in.empty()) break;
+    for (auto& row : in.rows) {
+      if (predicate_->EvalBool(row)) out->rows.push_back(std::move(row));
+    }
+  }
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- Project --
+
+Status ProjectOp::Next(Batch* out) {
+  out->rows.clear();
+  Batch in;
+  POLARX_RETURN_NOT_OK(child_->Next(&in));
+  out->rows.reserve(in.rows.size());
+  for (const auto& row : in.rows) {
+    Row projected;
+    projected.reserve(exprs_.size());
+    for (const auto& e : exprs_) projected.push_back(e->Eval(row));
+    out->rows.push_back(std::move(projected));
+  }
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- HashJoin --
+
+HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build,
+                       std::vector<int> probe_keys,
+                       std::vector<int> build_keys, JoinType type,
+                       size_t build_width)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_keys_(std::move(probe_keys)),
+      build_keys_(std::move(build_keys)),
+      type_(type),
+      build_width_(build_width) {}
+
+std::string HashJoinOp::KeyOf(const Row& row,
+                              const std::vector<int>& cols) const {
+  return EncodeCells(row, cols);
+}
+
+Status HashJoinOp::Open() {
+  POLARX_RETURN_NOT_OK(build_->Open());
+  Batch batch;
+  for (;;) {
+    POLARX_RETURN_NOT_OK(build_->Next(&batch));
+    if (batch.empty()) break;
+    for (auto& row : batch.rows) {
+      table_.emplace(KeyOf(row, build_keys_), std::move(row));
+      ++build_size_;
+    }
+  }
+  build_->Close();
+  return probe_->Open();
+}
+
+Status HashJoinOp::Next(Batch* out) {
+  out->rows.clear();
+  while (out->rows.size() < kExecBatchSize) {
+    if (probe_pos_ >= pending_probe_.rows.size()) {
+      POLARX_RETURN_NOT_OK(probe_->Next(&pending_probe_));
+      probe_pos_ = 0;
+      if (pending_probe_.empty()) break;
+    }
+    const Row& probe_row = pending_probe_.rows[probe_pos_++];
+    std::string key = KeyOf(probe_row, probe_keys_);
+    auto [begin, end] = table_.equal_range(key);
+    switch (type_) {
+      case JoinType::kInner:
+        for (auto it = begin; it != end; ++it) {
+          Row joined = probe_row;
+          joined.insert(joined.end(), it->second.begin(), it->second.end());
+          out->rows.push_back(std::move(joined));
+        }
+        break;
+      case JoinType::kLeftOuter:
+        if (begin == end) {
+          Row joined = probe_row;
+          size_t width =
+              build_width_ > 0
+                  ? build_width_
+                  : (table_.empty() ? 0 : table_.begin()->second.size());
+          joined.resize(joined.size() + width);  // NULL padding
+          out->rows.push_back(std::move(joined));
+        } else {
+          for (auto it = begin; it != end; ++it) {
+            Row joined = probe_row;
+            joined.insert(joined.end(), it->second.begin(),
+                          it->second.end());
+            out->rows.push_back(std::move(joined));
+          }
+        }
+        break;
+      case JoinType::kLeftSemi:
+        if (begin != end) out->rows.push_back(probe_row);
+        break;
+      case JoinType::kLeftAnti:
+        if (begin == end) out->rows.push_back(probe_row);
+        break;
+    }
+  }
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+void HashJoinOp::Close() {
+  probe_->Close();
+  table_.clear();
+}
+
+// ----------------------------------------------------------- LookupJoin --
+
+LookupJoinOp::LookupJoinOp(OperatorPtr probe,
+                           std::vector<TableStore*> inner_shards,
+                           std::vector<ExprPtr> key_exprs,
+                           Timestamp snapshot_ts, JoinType type)
+    : probe_(std::move(probe)),
+      inner_(std::move(inner_shards)),
+      key_exprs_(std::move(key_exprs)),
+      snapshot_ts_(snapshot_ts),
+      type_(type) {}
+
+Status LookupJoinOp::Next(Batch* out) {
+  out->rows.clear();
+  Batch in;
+  while (out->rows.empty()) {
+    POLARX_RETURN_NOT_OK(probe_->Next(&in));
+    if (in.empty()) break;
+    for (auto& probe_row : in.rows) {
+      Row key_values;
+      key_values.reserve(key_exprs_.size());
+      for (const auto& e : key_exprs_) key_values.push_back(e->Eval(probe_row));
+      EncodedKey pk = EncodeKey(key_values);
+      ++lookups_;
+      TableStore* shard =
+          inner_[ShardOf(pk, static_cast<uint32_t>(inner_.size()))];
+      const Version* v = LatestVisible(shard->rows().Head(pk), snapshot_ts_);
+      bool found = v != nullptr && !v->deleted;
+      switch (type_) {
+        case JoinType::kInner:
+          if (found) {
+            Row joined = std::move(probe_row);
+            joined.insert(joined.end(), v->row.begin(), v->row.end());
+            out->rows.push_back(std::move(joined));
+          }
+          break;
+        case JoinType::kLeftSemi:
+          if (found) out->rows.push_back(std::move(probe_row));
+          break;
+        case JoinType::kLeftAnti:
+          if (!found) out->rows.push_back(std::move(probe_row));
+          break;
+      }
+    }
+  }
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- Subplan --
+
+Status SubplanOp::Open() {
+  POLARX_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect(child_.get()));
+  inner_ = builder_(std::move(rows));
+  return inner_->Open();
+}
+
+Status SubplanOp::Next(Batch* out) {
+  Status s = inner_->Next(out);
+  rows_produced_ += out->rows.size();
+  return s;
+}
+
+void SubplanOp::Close() {
+  if (inner_ != nullptr) inner_->Close();
+}
+
+// -------------------------------------------------------------- HashAgg --
+
+HashAggOp::HashAggOp(OperatorPtr child, std::vector<ExprPtr> group_by,
+                     std::vector<AggSpec> aggs, AggMode mode)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)),
+      mode_(mode) {}
+
+Status HashAggOp::Open() {
+  POLARX_RETURN_NOT_OK(child_->Open());
+  consumed_ = false;
+  groups_.clear();
+  results_.clear();
+  out_pos_ = 0;
+  return Status::Ok();
+}
+
+void HashAggOp::Accumulate(const Row& row) {
+  Row group;
+  group.reserve(group_by_.size());
+  EncodedKey key;
+  for (const auto& g : group_by_) {
+    group.push_back(g->Eval(row));
+    EncodeValue(group.back(), &key);
+  }
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    it = groups_
+             .emplace(std::move(key),
+                      std::make_pair(std::move(group),
+                                     std::vector<AggState>(aggs_.size())))
+             .first;
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    AggState& st = it->second.second[i];
+    const AggSpec& spec = aggs_[i];
+    if (spec.op == AggOp::kCount && spec.expr == nullptr) {
+      ++st.count;
+      st.any = true;
+      continue;
+    }
+    Value v = spec.expr->Eval(row);
+    if (IsNull(v)) continue;
+    switch (spec.op) {
+      case AggOp::kCount:
+        ++st.count;
+        break;
+      case AggOp::kSum:
+      case AggOp::kAvg: {
+        auto d = ValueAsDouble(v);
+        if (d.ok()) {
+          st.sum += *d;
+          ++st.count;
+        }
+        break;
+      }
+      case AggOp::kMin:
+        if (!st.any || CompareValues(v, st.min) < 0) st.min = v;
+        break;
+      case AggOp::kMax:
+        if (!st.any || CompareValues(v, st.max) > 0) st.max = v;
+        break;
+    }
+    st.any = true;
+  }
+}
+
+void HashAggOp::MergeState(const Row& row) {
+  // Input layout: group columns, then states (sum,count per avg; single
+  // column otherwise) in agg order.
+  Row group(row.begin(), row.begin() + group_by_.size());
+  EncodedKey key;
+  for (const auto& v : group) EncodeValue(v, &key);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    it = groups_
+             .emplace(std::move(key),
+                      std::make_pair(std::move(group),
+                                     std::vector<AggState>(aggs_.size())))
+             .first;
+  }
+  size_t col = group_by_.size();
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    AggState& st = it->second.second[i];
+    switch (aggs_[i].op) {
+      case AggOp::kCount:
+        st.count += ValueAsInt(row[col]).ValueOr(0);
+        ++col;
+        break;
+      case AggOp::kSum:
+        st.sum += ValueAsDouble(row[col]).ValueOr(0);
+        ++col;
+        break;
+      case AggOp::kAvg:
+        st.sum += ValueAsDouble(row[col]).ValueOr(0);
+        st.count += ValueAsInt(row[col + 1]).ValueOr(0);
+        col += 2;
+        break;
+      case AggOp::kMin: {
+        const Value& v = row[col];
+        if (!IsNull(v) && (!st.any || CompareValues(v, st.min) < 0)) {
+          st.min = v;
+        }
+        ++col;
+        break;
+      }
+      case AggOp::kMax: {
+        const Value& v = row[col];
+        if (!IsNull(v) && (!st.any || CompareValues(v, st.max) > 0)) {
+          st.max = v;
+        }
+        ++col;
+        break;
+      }
+    }
+    st.any = true;
+  }
+}
+
+Row HashAggOp::Finalize(const Row& group, std::vector<AggState>& states)
+    const {
+  Row out = group;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    AggState& st = states[i];
+    if (mode_ == AggMode::kPartial) {
+      switch (aggs_[i].op) {
+        case AggOp::kCount:
+          out.push_back(st.count);
+          break;
+        case AggOp::kSum:
+          out.push_back(st.sum);
+          break;
+        case AggOp::kAvg:
+          out.push_back(st.sum);
+          out.push_back(st.count);
+          break;
+        case AggOp::kMin:
+          out.push_back(st.any ? st.min : Value{});
+          break;
+        case AggOp::kMax:
+          out.push_back(st.any ? st.max : Value{});
+          break;
+      }
+      continue;
+    }
+    switch (aggs_[i].op) {
+      case AggOp::kCount:
+        out.push_back(st.count);
+        break;
+      case AggOp::kSum:
+        out.push_back(st.sum);
+        break;
+      case AggOp::kAvg:
+        out.push_back(st.count == 0 ? Value{} : Value{st.sum / st.count});
+        break;
+      case AggOp::kMin:
+        out.push_back(st.any ? st.min : Value{});
+        break;
+      case AggOp::kMax:
+        out.push_back(st.any ? st.max : Value{});
+        break;
+    }
+  }
+  return out;
+}
+
+Status HashAggOp::Next(Batch* out) {
+  out->rows.clear();
+  if (!consumed_) {
+    Batch in;
+    for (;;) {
+      POLARX_RETURN_NOT_OK(child_->Next(&in));
+      if (in.empty()) break;
+      for (const auto& row : in.rows) {
+        if (mode_ == AggMode::kFinal) {
+          MergeState(row);
+        } else {
+          Accumulate(row);
+        }
+      }
+    }
+    // Global aggregation (no GROUP BY) yields one row even on empty input.
+    if (groups_.empty() && group_by_.empty()) {
+      std::vector<AggState> states(aggs_.size());
+      results_.push_back(Finalize({}, states));
+    }
+    for (auto& [key, entry] : groups_) {
+      results_.push_back(Finalize(entry.first, entry.second));
+    }
+    groups_.clear();
+    consumed_ = true;
+  }
+  while (out_pos_ < results_.size() && out->rows.size() < kExecBatchSize) {
+    out->rows.push_back(std::move(results_[out_pos_++]));
+  }
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+void HashAggOp::Close() { child_->Close(); }
+
+// ----------------------------------------------------------------- Sort --
+
+Status SortOp::Open() {
+  rows_.clear();
+  sorted_ = false;
+  pos_ = 0;
+  return child_->Open();
+}
+
+Status SortOp::Next(Batch* out) {
+  out->rows.clear();
+  if (!sorted_) {
+    Batch in;
+    for (;;) {
+      POLARX_RETURN_NOT_OK(child_->Next(&in));
+      if (in.empty()) break;
+      for (auto& r : in.rows) rows_.push_back(std::move(r));
+    }
+    auto cmp = [this](const Row& a, const Row& b) {
+      for (const auto& k : keys_) {
+        int c = CompareValues(a[k.column], b[k.column]);
+        if (c != 0) return k.ascending ? c < 0 : c > 0;
+      }
+      return false;
+    };
+    if (limit_ > 0 && rows_.size() > limit_) {
+      std::partial_sort(rows_.begin(), rows_.begin() + limit_, rows_.end(),
+                        cmp);
+      rows_.resize(limit_);
+    } else {
+      std::sort(rows_.begin(), rows_.end(), cmp);
+    }
+    sorted_ = true;
+  }
+  while (pos_ < rows_.size() && out->rows.size() < kExecBatchSize) {
+    out->rows.push_back(std::move(rows_[pos_++]));
+  }
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- Limit --
+
+Status LimitOp::Next(Batch* out) {
+  out->rows.clear();
+  if (produced_ >= limit_) return Status::Ok();
+  Batch in;
+  POLARX_RETURN_NOT_OK(child_->Next(&in));
+  for (auto& row : in.rows) {
+    if (produced_ >= limit_) break;
+    out->rows.push_back(std::move(row));
+    ++produced_;
+  }
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+}  // namespace polarx

@@ -1,0 +1,302 @@
+// Pull-based (volcano) operators with batch-at-a-time execution, the
+// building blocks of PolarDB-X's query executor (§VI-C). TPC-H plans, the
+// MPP engine, and the HTAP router all compose these.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/exec/expr.h"
+#include "src/storage/key_codec.h"
+#include "src/storage/table.h"
+
+namespace polarx {
+
+/// Rows flow between operators in batches of up to kExecBatchSize.
+inline constexpr size_t kExecBatchSize = 1024;
+
+struct Batch {
+  std::vector<Row> rows;
+  bool empty() const { return rows.empty(); }
+};
+
+/// Base class. Contract: Open() once, then Next() until it yields an empty
+/// batch (end of stream), then Close(). Next() never blocks on user input;
+/// long-running operators cooperate with the time-slicing scheduler by
+/// returning after at most one batch.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  virtual Status Next(Batch* out) = 0;
+  virtual void Close() {}
+
+  uint64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  uint64_t rows_produced_ = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Scans the committed-visible rows of one or more table shards at a
+/// snapshot, with optional pushed-down filter and projection (§VI-B
+/// operator push-down: the filter runs "inside the scan").
+class TableScanOp : public Operator {
+ public:
+  TableScanOp(std::vector<TableStore*> shards, Timestamp snapshot_ts,
+              ExprPtr filter = nullptr, std::vector<int> projection = {});
+
+  /// Restricts the scan to primary keys in [from, to) (empty = unbounded);
+  /// unlike a pushed-down filter this prunes the B+Tree range itself.
+  void SetKeyRange(EncodedKey from, EncodedKey to) {
+    range_from_ = std::move(from);
+    range_to_ = std::move(to);
+  }
+
+  Status Open() override;
+  Status Next(Batch* out) override;
+
+ private:
+  std::vector<TableStore*> shards_;
+  Timestamp snapshot_ts_;
+  ExprPtr filter_;
+  std::vector<int> projection_;
+  EncodedKey range_from_, range_to_;
+  size_t shard_index_ = 0;
+  EncodedKey cursor_;
+};
+
+/// Point/range reads through a local secondary index, re-validated against
+/// the primary chain at the snapshot.
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(TableStore* table, LocalIndex* index, EncodedKey from,
+              EncodedKey to, Timestamp snapshot_ts, ExprPtr filter = nullptr);
+
+  Status Open() override;
+  Status Next(Batch* out) override;
+
+ private:
+  TableStore* table_;
+  LocalIndex* index_;
+  EncodedKey from_, to_;
+  Timestamp snapshot_ts_;
+  ExprPtr filter_;
+  std::vector<EncodedKey> pks_;
+  size_t pos_ = 0;
+};
+
+/// Emits a pre-materialized row set (exchange receiver / test source).
+class ValuesOp : public Operator {
+ public:
+  explicit ValuesOp(std::vector<Row> rows) : source_(std::move(rows)) {}
+  Status Open() override {
+    pos_ = 0;
+    return Status::Ok();
+  }
+  Status Next(Batch* out) override;
+
+ private:
+  std::vector<Row> source_;
+  size_t pos_ = 0;
+};
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  Status Open() override { return child_->Open(); }
+  Status Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+  Status Open() override { return child_->Open(); }
+  Status Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+enum class JoinType { kInner, kLeftSemi, kLeftAnti, kLeftOuter };
+
+/// In-memory hash join: builds on the right child, probes with the left.
+/// Output rows are probe columns followed by build columns (inner/outer
+/// joins). Empty key vectors make this a cross/scalar join (all rows match).
+class HashJoinOp : public Operator {
+ public:
+  /// `build_width` is required for kLeftOuter (NULL-pad width when the
+  /// build side has no match); ignored otherwise.
+  HashJoinOp(OperatorPtr probe, OperatorPtr build,
+             std::vector<int> probe_keys, std::vector<int> build_keys,
+             JoinType type = JoinType::kInner, size_t build_width = 0);
+
+  Status Open() override;
+  Status Next(Batch* out) override;
+  void Close() override;
+
+  size_t build_rows() const { return build_size_; }
+
+ private:
+  std::string KeyOf(const Row& row, const std::vector<int>& cols) const;
+
+  OperatorPtr probe_, build_;
+  std::vector<int> probe_keys_, build_keys_;
+  JoinType type_;
+  size_t build_width_;
+  std::unordered_multimap<std::string, Row> table_;
+  size_t build_size_ = 0;
+  // carry-over state when one probe row matches many build rows
+  Batch pending_probe_;
+  size_t probe_pos_ = 0;
+};
+
+/// Index nested-loop join: for each probe row, computes a primary key and
+/// looks it up in the inner table's shards (the plan shape PolarDB-X picks
+/// when the probe side is small, §VII-C). Lookups route to the owning hash
+/// shard.
+class LookupJoinOp : public Operator {
+ public:
+  LookupJoinOp(OperatorPtr probe, std::vector<TableStore*> inner_shards,
+               std::vector<ExprPtr> key_exprs, Timestamp snapshot_ts,
+               JoinType type = JoinType::kInner);
+  LookupJoinOp(OperatorPtr probe, TableStore* inner,
+               std::vector<ExprPtr> key_exprs, Timestamp snapshot_ts,
+               JoinType type = JoinType::kInner)
+      : LookupJoinOp(std::move(probe), std::vector<TableStore*>{inner},
+                     std::move(key_exprs), snapshot_ts, type) {}
+
+  Status Open() override { return probe_->Open(); }
+  Status Next(Batch* out) override;
+  void Close() override { probe_->Close(); }
+
+  uint64_t lookups() const { return lookups_; }
+
+ private:
+  OperatorPtr probe_;
+  std::vector<TableStore*> inner_;
+  std::vector<ExprPtr> key_exprs_;
+  Timestamp snapshot_ts_;
+  JoinType type_;
+  uint64_t lookups_ = 0;
+};
+
+/// Materializes its child at Open(), then delegates to a subplan built from
+/// the collected rows. This is how multi-pass merge stages (scalar
+/// subqueries, self-joins against aggregates) are composed.
+class SubplanOp : public Operator {
+ public:
+  using Builder = std::function<OperatorPtr(std::vector<Row> rows)>;
+  SubplanOp(OperatorPtr child, Builder builder)
+      : child_(std::move(child)), builder_(std::move(builder)) {}
+
+  Status Open() override;
+  Status Next(Batch* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  Builder builder_;
+  OperatorPtr inner_;
+};
+
+enum class AggOp { kSum, kCount, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggOp op;
+  ExprPtr expr;  // null for COUNT(*)
+};
+
+/// Aggregation phase: kComplete computes final values in one pass;
+/// kPartial emits mergeable states (avg => sum+count columns); kFinal
+/// merges partial states (input columns: groups then states).
+enum class AggMode { kComplete, kPartial, kFinal };
+
+/// Hash aggregation. Output: group-by values, then one column per aggregate
+/// (two for avg in partial mode).
+class HashAggOp : public Operator {
+ public:
+  HashAggOp(OperatorPtr child, std::vector<ExprPtr> group_by,
+            std::vector<AggSpec> aggs, AggMode mode = AggMode::kComplete);
+
+  Status Open() override;
+  Status Next(Batch* out) override;
+  void Close() override;
+
+ private:
+  struct AggState {
+    double sum = 0;
+    int64_t count = 0;
+    bool any = false;
+    Value min, max;
+  };
+
+  void Accumulate(const Row& row);
+  void MergeState(const Row& row);
+  Row Finalize(const Row& group, std::vector<AggState>& states) const;
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> aggs_;
+  AggMode mode_;
+  std::unordered_map<std::string, std::pair<Row, std::vector<AggState>>>
+      groups_;
+  bool consumed_ = false;
+  std::vector<Row> results_;
+  size_t out_pos_ = 0;
+};
+
+struct SortKey {
+  int column;
+  bool ascending = true;
+};
+
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys, size_t limit = 0)
+      : child_(std::move(child)), keys_(std::move(keys)), limit_(limit) {}
+  Status Open() override;
+  Status Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  size_t limit_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+  bool sorted_ = false;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+  Status Open() override { return child_->Open(); }
+  Status Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  size_t limit_;
+  size_t produced_ = 0;
+};
+
+/// Drains an operator tree into a row vector.
+Result<std::vector<Row>> Collect(Operator* op);
+
+}  // namespace polarx

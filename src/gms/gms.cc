@@ -1,0 +1,217 @@
+#include "src/gms/gms.h"
+
+#include <algorithm>
+
+namespace polarx {
+
+Result<TableDef> Gms::CreateTable(const std::string& name,
+                                  std::vector<ColumnDef> columns,
+                                  std::vector<uint32_t> key_columns,
+                                  uint32_t num_shards,
+                                  const std::string& table_group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_names_.count(name) != 0) {
+    return Status::InvalidArgument("table " + name + " exists");
+  }
+  if (dns_.empty()) {
+    return Status::ResourceExhausted("no DN registered");
+  }
+  TableDef def = MakeTableDef(next_table_++, name, std::move(columns),
+                              std::move(key_columns), num_shards);
+  def.table_group = table_group;
+  POLARX_RETURN_NOT_OK(table_groups_.Register(def));
+  // Place shards: co-located with the table group if any, else round-robin
+  // over alive DNs.
+  for (ShardId shard = 0; shard < def.num_shards; ++shard) {
+    uint32_t dn = PickDnForShardLocked(table_group, shard);
+    shard_placement_[{def.id, shard}] = dn;
+    if (!table_group.empty()) {
+      group_placement_.emplace(std::make_pair(table_group, shard), dn);
+    }
+  }
+  tables_.emplace(def.id, def);
+  table_names_.emplace(name, def.id);
+  return def;
+}
+
+uint32_t Gms::PickDnForShardLocked(const std::string& table_group,
+                                   ShardId shard) const {
+  if (!table_group.empty()) {
+    auto it = group_placement_.find({table_group, shard});
+    if (it != group_placement_.end()) return it->second;
+  }
+  // Round-robin over alive DNs.
+  std::vector<uint32_t> alive;
+  for (const auto& dn : dns_) {
+    if (dn.alive) alive.push_back(dn.id);
+  }
+  return alive[shard % alive.size()];
+}
+
+Result<TableDef> Gms::FindTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_names_.find(name);
+  if (it == table_names_.end()) return Status::NotFound("table " + name);
+  return tables_.at(it->second);
+}
+
+Result<TableDef> Gms::FindTableById(TableId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(id);
+  if (it == tables_.end()) return Status::NotFound("table id");
+  return it->second;
+}
+
+std::vector<TableDef> Gms::AllTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TableDef> out;
+  for (const auto& [id, def] : tables_) out.push_back(def);
+  return out;
+}
+
+Result<GlobalIndexDef> Gms::AddGlobalIndex(const std::string& table,
+                                           const std::string& index_name,
+                                           std::vector<uint32_t> columns,
+                                           bool clustered) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_names_.find(table);
+  if (it == table_names_.end()) return Status::NotFound("table " + table);
+  TableDef& def = tables_[it->second];
+  GlobalIndexDef idx;
+  idx.name = index_name;
+  idx.columns = std::move(columns);
+  idx.clustered = clustered;
+  idx.hidden_table = next_table_++;  // hidden table id (§II-B)
+  def.global_indexes.push_back(idx);
+  return idx;
+}
+
+int64_t Gms::NextSequence(TableId table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sequences_[table].Next();
+}
+
+uint32_t Gms::RegisterDn(DcId dc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DnInfo info;
+  info.id = static_cast<uint32_t>(dns_.size());
+  info.dc = dc;
+  dns_.push_back(info);
+  return info.id;
+}
+
+void Gms::SetDnAlive(uint32_t dn, bool alive) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dn < dns_.size()) dns_[dn].alive = alive;
+}
+
+std::vector<DnInfo> Gms::Dns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dns = dns_;
+  for (auto& dn : dns) {
+    dn.tenant_count = 0;
+    for (const auto& [tenant, owner] : tenant_placement_) {
+      if (owner == dn.id) ++dn.tenant_count;
+    }
+  }
+  return dns;
+}
+
+Result<uint32_t> Gms::DnOfShard(TableId table, ShardId shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shard_placement_.find({table, shard});
+  if (it == shard_placement_.end()) return Status::NotFound("shard unknown");
+  return it->second;
+}
+
+Status Gms::BindTenant(TenantId tenant, uint32_t dn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dn >= dns_.size() || !dns_[dn].alive) {
+    return Status::InvalidArgument("dn not alive");
+  }
+  tenant_placement_[tenant] = dn;
+  return Status::Ok();
+}
+
+Result<uint32_t> Gms::DnOfTenant(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_placement_.find(tenant);
+  if (it == tenant_placement_.end()) {
+    return Status::NotFound("tenant unbound");
+  }
+  return it->second;
+}
+
+std::vector<TenantId> Gms::TenantsOn(uint32_t dn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantId> out;
+  for (const auto& [tenant, owner] : tenant_placement_) {
+    if (owner == dn) out.push_back(tenant);
+  }
+  return out;
+}
+
+void Gms::ReportLoad(uint32_t dn, uint64_t row_count, double write_qps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dn >= dns_.size()) return;
+  dns_[dn].row_count = row_count;
+  dns_[dn].write_qps = write_qps;
+}
+
+std::vector<MigrationStep> Gms::PlanRebalance() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Current tenant counts per alive DN.
+  std::map<uint32_t, std::vector<TenantId>> by_dn;
+  for (const auto& dn : dns_) {
+    if (dn.alive) by_dn[dn.id];
+  }
+  for (const auto& [tenant, dn] : tenant_placement_) {
+    auto it = by_dn.find(dn);
+    if (it != by_dn.end()) it->second.push_back(tenant);
+  }
+  if (by_dn.empty()) return {};
+  size_t total = tenant_placement_.size();
+  size_t target_floor = total / by_dn.size();
+  size_t remainder = total % by_dn.size();
+
+  // Donors carry more than their target; recipients less.
+  std::vector<MigrationStep> plan;
+  std::vector<std::pair<uint32_t, std::vector<TenantId>>> donors, takers;
+  size_t i = 0;
+  for (auto& [dn, tenants] : by_dn) {
+    size_t target = target_floor + (i < remainder ? 1 : 0);
+    ++i;
+    if (tenants.size() > target) {
+      std::vector<TenantId> extra(tenants.begin() + target, tenants.end());
+      donors.emplace_back(dn, std::move(extra));
+    } else if (tenants.size() < target) {
+      takers.emplace_back(dn, std::vector<TenantId>(target - tenants.size()));
+    }
+  }
+  size_t di = 0, dj = 0;
+  for (auto& [dst, want] : takers) {
+    for (size_t w = 0; w < want.size(); ++w) {
+      while (di < donors.size() && dj >= donors[di].second.size()) {
+        ++di;
+        dj = 0;
+      }
+      if (di >= donors.size()) break;
+      plan.push_back(MigrationStep{donors[di].second[dj], donors[di].first,
+                                   dst});
+      ++dj;
+    }
+  }
+  return plan;
+}
+
+Status Gms::CommitMigration(const MigrationStep& step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_placement_.find(step.tenant);
+  if (it == tenant_placement_.end() || it->second != step.src_dn) {
+    return Status::Conflict("tenant not on expected source");
+  }
+  it->second = step.dst_dn;
+  return Status::Ok();
+}
+
+}  // namespace polarx

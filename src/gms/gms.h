@@ -1,0 +1,115 @@
+// Global Meta Service (§II-A): the control plane. Holds the logical catalog
+// (table definitions, partition rules, table groups), cluster membership,
+// shard/tenant placement, load statistics, and produces migration plans for
+// scale-out (§V "Scale PolarDB-X cluster"). In production GMS is itself a
+// 3-AZ PolarDB; here it is an in-process authority.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/partition/partition.h"
+
+namespace polarx {
+
+/// A registered DN (PolarDB instance) and its reported load.
+struct DnInfo {
+  uint32_t id = 0;
+  DcId dc = 0;
+  bool alive = true;
+  /// Reported load statistics (refreshed by heartbeats).
+  uint64_t tenant_count = 0;
+  uint64_t row_count = 0;
+  double write_qps = 0;
+};
+
+/// One step of a scale-out plan: move `tenant` from `src` to `dst`.
+struct MigrationStep {
+  TenantId tenant = 0;
+  uint32_t src_dn = 0;
+  uint32_t dst_dn = 0;
+};
+
+class Gms {
+ public:
+  Gms() = default;
+
+  // ---- catalog ----
+
+  /// Registers a table definition; assigns shards round-robin over DNs and
+  /// honors table-group co-location. Returns the def with id assigned.
+  Result<TableDef> CreateTable(const std::string& name,
+                               std::vector<ColumnDef> columns,
+                               std::vector<uint32_t> key_columns,
+                               uint32_t num_shards,
+                               const std::string& table_group = "");
+
+  Result<TableDef> FindTable(const std::string& name) const;
+  Result<TableDef> FindTableById(TableId id) const;
+  std::vector<TableDef> AllTables() const;
+
+  /// Adds a global secondary index to a table (backed by a hidden table id).
+  Result<GlobalIndexDef> AddGlobalIndex(const std::string& table,
+                                        const std::string& index_name,
+                                        std::vector<uint32_t> columns,
+                                        bool clustered);
+
+  /// Auto-increment sequence for a table's implicit primary key.
+  int64_t NextSequence(TableId table);
+
+  // ---- membership & placement ----
+
+  /// Registers a DN; returns its id.
+  uint32_t RegisterDn(DcId dc);
+  void SetDnAlive(uint32_t dn, bool alive);
+  std::vector<DnInfo> Dns() const;
+
+  /// Placement of a shard: which DN hosts (table, shard). Co-located for
+  /// table-group members.
+  Result<uint32_t> DnOfShard(TableId table, ShardId shard) const;
+
+  /// Tenant placement (PolarDB-MT mode): which DN/RW owns a tenant.
+  Status BindTenant(TenantId tenant, uint32_t dn);
+  Result<uint32_t> DnOfTenant(TenantId tenant) const;
+  std::vector<TenantId> TenantsOn(uint32_t dn) const;
+
+  /// Updates load stats from a DN heartbeat.
+  void ReportLoad(uint32_t dn, uint64_t row_count, double write_qps);
+
+  // ---- scale-out planning (§V) ----
+
+  /// Produces a plan that balances tenant counts across alive DNs: tenants
+  /// move from the most-loaded DNs to the least-loaded (typically freshly
+  /// added) ones. Steps with distinct (src, dst) pairs can run in parallel.
+  std::vector<MigrationStep> PlanRebalance() const;
+
+  /// Applies a completed step to the placement map.
+  Status CommitMigration(const MigrationStep& step);
+
+  TableGroupRegistry* table_groups() { return &table_groups_; }
+
+ private:
+  uint32_t PickDnForShardLocked(const std::string& table_group,
+                                ShardId shard) const;
+
+  mutable std::mutex mu_;
+  TableId next_table_ = 1;
+  std::map<TableId, TableDef> tables_;
+  std::map<std::string, TableId> table_names_;
+  std::map<TableId, Sequence> sequences_;
+  TableGroupRegistry table_groups_;
+  std::vector<DnInfo> dns_;
+  /// (table, shard) -> dn
+  std::map<std::pair<TableId, ShardId>, uint32_t> shard_placement_;
+  /// table_group -> shard -> dn (authoritative for grouped tables)
+  std::map<std::pair<std::string, ShardId>, uint32_t> group_placement_;
+  std::map<TenantId, uint32_t> tenant_placement_;
+};
+
+}  // namespace polarx

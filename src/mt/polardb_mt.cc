@@ -1,0 +1,329 @@
+#include "src/mt/polardb_mt.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace polarx {
+
+// ------------------------------------------------------- binding table --
+
+uint64_t BindingTable::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+Status BindingTable::Bind(TenantId tenant, uint32_t rw) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bindings_[tenant] = rw;
+  ++version_;
+  return Status::Ok();
+}
+
+Result<uint32_t> BindingTable::OwnerOf(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bindings_.find(tenant);
+  if (it == bindings_.end()) return Status::NotFound("tenant unbound");
+  return it->second;
+}
+
+std::vector<TenantId> BindingTable::TenantsOf(uint32_t rw) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantId> out;
+  for (const auto& [tenant, owner] : bindings_) {
+    if (owner == rw) out.push_back(tenant);
+  }
+  return out;
+}
+
+void BindingTable::SetMigrating(TenantId tenant, bool migrating) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (migrating) {
+    migrating_.insert(tenant);
+  } else {
+    migrating_.erase(tenant);
+  }
+}
+
+bool BindingTable::IsMigrating(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return migrating_.count(tenant) != 0;
+}
+
+// ------------------------------------------------------------ RW node --
+
+MtRwNode::MtRwNode(uint32_t id, PhysicalClockMs clock, PageStore* page_store)
+    : id_(id),
+      hlc_(std::move(clock)),
+      pool_(page_store),
+      engine_(id + 1, &catalog_, &hlc_, &log_, &pool_) {}
+
+bool MtRwNode::OwnsTenant(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return owned_.count(tenant) != 0;
+}
+
+void MtRwNode::RefreshBindings(const BindingTable& bindings) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = owned_.begin(); it != owned_.end();) {
+    auto owner = bindings.OwnerOf(*it);
+    if (!owner.ok() || *owner != id_) {
+      it = owned_.erase(it);  // tenant moved away: abort its transactions
+    } else {
+      ++it;
+    }
+  }
+  cached_version_ = bindings.version();
+}
+
+Status MtRwNode::CheckTenantLease(TenantId tenant,
+                                  const BindingTable& bindings) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (owned_.count(tenant) == 0) {
+      return Status::NotLeader("tenant not bound to rw " +
+                               std::to_string(id_));
+    }
+    if (cached_version_ == bindings.version()) return Status::Ok();
+  }
+  // Cache stale: the lease has lapsed; the caller must refresh and retry.
+  return Status::LeaseExpired("binding info changed");
+}
+
+Status MtRwNode::OpenTenant(TenantId tenant,
+                            std::vector<std::shared_ptr<TableStore>> tables) {
+  for (auto& table : tables) {
+    POLARX_RETURN_NOT_OK(catalog_.AttachTable(std::move(table)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_.insert(tenant);
+  return Status::Ok();
+}
+
+Result<std::vector<std::shared_ptr<TableStore>>> MtRwNode::CloseTenant(
+    TenantId tenant, size_t* pages_flushed) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (owned_.count(tenant) == 0) {
+      return Status::NotFound("tenant not owned");
+    }
+  }
+  std::vector<std::shared_ptr<TableStore>> detached;
+  size_t flushed = 0;
+  for (TableStore* table : catalog_.TablesOfTenant(tenant)) {
+    // §V: flush all dirty pages of the tenant to PolarFS before handover.
+    flushed += pool_.FlushAndDropTable(table->id());
+    POLARX_ASSIGN_OR_RETURN(auto handle, catalog_.DetachTable(table->id()));
+    detached.push_back(std::move(handle));
+  }
+  if (pages_flushed != nullptr) *pages_flushed = flushed;
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_.erase(tenant);
+  return detached;
+}
+
+int64_t MtRwNode::InflightWrites(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_writes_.find(tenant);
+  return it == inflight_writes_.end() ? 0 : it->second;
+}
+
+void MtRwNode::NoteWriteBegin(TenantId tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++inflight_writes_[tenant];
+}
+
+void MtRwNode::NoteWriteEnd(TenantId tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_writes_[tenant];
+}
+
+// ----------------------------------------------------- data dictionary --
+
+Status DataDictionary::ApplyDdl(uint32_t requester_rw,
+                                const BindingTable& bindings,
+                                TableMeta meta) {
+  // §V: the owner RW initiates, the master validates ownership.
+  auto owner = bindings.OwnerOf(meta.tenant);
+  if (!owner.ok()) return owner.status();
+  if (*owner != requester_rw) {
+    return Status::InvalidArgument(
+        "only the tenant's owner may modify its metadata");
+  }
+  std::lock_guard<std::mutex> lock(mu_);  // MDL: exclusive for the DDL
+  tables_[meta.id] = std::move(meta);
+  ++ddl_count_;
+  return Status::Ok();
+}
+
+Result<DataDictionary::TableMeta> DataDictionary::Lookup(TableId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(id);
+  if (it == tables_.end()) return Status::NotFound("table meta");
+  return it->second;
+}
+
+std::vector<DataDictionary::TableMeta> DataDictionary::TablesOfTenant(
+    TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TableMeta> out;
+  for (const auto& [id, meta] : tables_) {
+    if (meta.tenant == tenant) out.push_back(meta);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- cluster --
+
+MtCluster::MtCluster(PhysicalClockMs clock) : clock_(std::move(clock)) {
+  for (int i = 0; i < 3; ++i) fs_.AddChunkServer();
+  auto vol = fs_.CreateVolume();
+  volume_ = (*vol)->id();
+  page_store_ = std::make_unique<PolarFsPageStore>(&fs_, volume_);
+}
+
+uint32_t MtCluster::AddRwNode() {
+  uint32_t id = static_cast<uint32_t>(rws_.size());
+  rws_.push_back(std::make_unique<MtRwNode>(id, clock_, page_store_.get()));
+  if (id == 0) dict_.SetMaster(0);  // first RW is the dictionary master
+  rws_[id]->RefreshBindings(bindings_);
+  return id;
+}
+
+Status MtCluster::CreateTenant(TenantId tenant, uint32_t rw) {
+  if (rw >= rws_.size()) return Status::InvalidArgument("rw unknown");
+  POLARX_RETURN_NOT_OK(bindings_.Bind(tenant, rw));
+  rws_[rw]->RefreshBindings(bindings_);
+  POLARX_RETURN_NOT_OK(rws_[rw]->OpenTenant(tenant, {}));
+  return Status::Ok();
+}
+
+Result<TableStore*> MtCluster::CreateTable(TenantId tenant,
+                                           const std::string& name,
+                                           Schema schema) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  auto owner = bindings_.OwnerOf(tenant);
+  if (!owner.ok()) return owner.status();
+  MtRwNode* rw = rws_[*owner].get();
+  TableId id = next_table_++;
+  DataDictionary::TableMeta meta{id, name, schema, tenant};
+  POLARX_RETURN_NOT_OK(dict_.ApplyDdl(rw->id(), bindings_, meta));
+  auto created = rw->catalog()->CreateTable(id, name, schema, tenant);
+  if (!created.ok()) return created.status();
+  return *created;
+}
+
+Result<MtRwNode*> MtCluster::Route(TenantId tenant) {
+  if (bindings_.IsMigrating(tenant)) {
+    return Status::Busy("tenant migrating; transaction paused");
+  }
+  POLARX_ASSIGN_OR_RETURN(uint32_t owner, bindings_.OwnerOf(tenant));
+  MtRwNode* rw = rws_[owner].get();
+  Status lease = rw->CheckTenantLease(tenant, bindings_);
+  if (lease.IsLeaseExpired()) {
+    rw->RefreshBindings(bindings_);
+    lease = rw->CheckTenantLease(tenant, bindings_);
+  }
+  POLARX_RETURN_NOT_OK(lease);
+  return rw;
+}
+
+Result<TransferMetrics> MtCluster::TransferTenant(TenantId tenant,
+                                                  uint32_t dst_rw) {
+  if (dst_rw >= rws_.size()) return Status::InvalidArgument("rw unknown");
+  POLARX_ASSIGN_OR_RETURN(uint32_t src_rw, bindings_.OwnerOf(tenant));
+  if (src_rw == dst_rw) return Status::InvalidArgument("already there");
+  MtRwNode* src = rws_[src_rw].get();
+  MtRwNode* dst = rws_[dst_rw].get();
+
+  // 1. Pause new transactions to the tenant (proxy/CN stops forwarding).
+  bindings_.SetMigrating(tenant, true);
+
+  // 2. Drain: wait for in-flight statements on the source to finish. In
+  //    this synchronous implementation callers have returned before
+  //    TransferTenant is invoked, so a non-zero count is a caller bug.
+  if (src->InflightWrites(tenant) != 0) {
+    bindings_.SetMigrating(tenant, false);
+    return Status::Busy("tenant has in-flight writes");
+  }
+
+  // 3. Source: flush dirty pages, drop cached metadata, close resources.
+  TransferMetrics metrics;
+  auto detached = src->CloseTenant(tenant, &metrics.pages_flushed);
+  if (!detached.ok()) {
+    bindings_.SetMigrating(tenant, false);
+    return detached.status();
+  }
+  metrics.tables_moved = detached->size();
+
+  // 4. Update the binding system table (bumps the version; other RWs'
+  //    caches become stale and refresh lazily).
+  POLARX_RETURN_NOT_OK(bindings_.Bind(tenant, dst_rw));
+
+  // 5. Destination: open the tenant's files / fetch metadata / initialize.
+  //    The handover is a causal message: the destination clock must absorb
+  //    the source clock so snapshots taken there see the tenant's latest
+  //    commits (ClockUpdate, §IV).
+  dst->hlc()->Update(src->hlc()->Now());
+  POLARX_RETURN_NOT_OK(dst->OpenTenant(tenant, std::move(*detached)));
+  dst->RefreshBindings(bindings_);
+  src->RefreshBindings(bindings_);
+
+  // 6. Resume traffic.
+  bindings_.SetMigrating(tenant, false);
+  metrics.binding_version = bindings_.version();
+  return metrics;
+}
+
+Result<uint64_t> MtCluster::CopyTenantBaseline(TenantId tenant,
+                                               uint32_t dst_rw) {
+  if (dst_rw >= rws_.size()) return Status::InvalidArgument("rw unknown");
+  POLARX_ASSIGN_OR_RETURN(uint32_t src_rw, bindings_.OwnerOf(tenant));
+  MtRwNode* src = rws_[src_rw].get();
+  MtRwNode* dst = rws_[dst_rw].get();
+  bindings_.SetMigrating(tenant, true);
+
+  uint64_t rows_copied = 0;
+  for (TableStore* table : src->catalog()->TablesOfTenant(tenant)) {
+    auto created = dst->catalog()->CreateTable(table->id(), table->name(),
+                                               table->schema(), tenant);
+    if (!created.ok()) {
+      bindings_.SetMigrating(tenant, false);
+      return created.status();
+    }
+    // Copy the latest committed version of every row (a production system
+    // would also ship a binlog tail; the volume term dominates).
+    table->rows().ScanAll([&](const EncodedKey& key, const VersionPtr& head) {
+      for (const Version* v = head.get(); v != nullptr; v = v->prev.get()) {
+        if (v->commit_ts.load(std::memory_order_acquire) !=
+            kInvalidTimestamp) {
+          if (!v->deleted) {
+            auto copy = std::make_shared<Version>(v->txn_id, false, v->row);
+            copy->commit_ts.store(
+                v->commit_ts.load(std::memory_order_acquire),
+                std::memory_order_release);
+            (*created)->rows().Push(key, std::move(copy));
+            ++rows_copied;
+          }
+          break;
+        }
+      }
+      return true;
+    });
+    src->buffer_pool()->FlushAndDropTable(table->id());
+    src->catalog()->DropTable(table->id());
+  }
+  {
+    size_t unused = 0;
+    src->CloseTenant(tenant, &unused);  // drop ownership bookkeeping
+  }
+  POLARX_RETURN_NOT_OK(bindings_.Bind(tenant, dst_rw));
+  dst->hlc()->Update(src->hlc()->Now());
+  POLARX_RETURN_NOT_OK(dst->OpenTenant(tenant, {}));
+  dst->RefreshBindings(bindings_);
+  src->RefreshBindings(bindings_);
+  bindings_.SetMigrating(tenant, false);
+  return rows_copied;
+}
+
+}  // namespace polarx

@@ -1,0 +1,70 @@
+#include "src/partition/partition.h"
+
+#include <algorithm>
+
+namespace polarx {
+
+TableDef MakeTableDef(TableId id, const std::string& name,
+                      std::vector<ColumnDef> columns,
+                      std::vector<uint32_t> key_columns,
+                      uint32_t num_shards) {
+  TableDef def;
+  def.id = id;
+  def.name = name;
+  def.num_shards = num_shards == 0 ? 1 : num_shards;
+  if (key_columns.empty()) {
+    // §II-B: add an invisible auto-increment BIGINT primary key.
+    std::vector<ColumnDef> with_pk;
+    with_pk.push_back(ColumnDef{"__pk", ValueType::kInt64, false});
+    for (auto& c : columns) with_pk.push_back(std::move(c));
+    def.schema = Schema(std::move(with_pk), {0});
+    def.implicit_pk = true;
+  } else {
+    def.schema = Schema(std::move(columns), std::move(key_columns));
+  }
+  return def;
+}
+
+Status TableGroupRegistry::Register(const TableDef& def) {
+  if (def.table_group.empty()) return Status::Ok();
+  GroupInfo& info = groups_[def.table_group];
+  if (info.tables.empty()) {
+    info.num_shards = def.num_shards;
+  } else if (info.num_shards != def.num_shards) {
+    return Status::InvalidArgument(
+        "table group " + def.table_group + " requires " +
+        std::to_string(info.num_shards) + " shards, got " +
+        std::to_string(def.num_shards));
+  }
+  if (std::find(info.tables.begin(), info.tables.end(), def.id) !=
+      info.tables.end()) {
+    return Status::InvalidArgument("table already registered");
+  }
+  info.tables.push_back(def.id);
+  table_to_group_[def.id] = def.table_group;
+  return Status::Ok();
+}
+
+std::vector<PartitionGroup> TableGroupRegistry::GroupsOf(
+    const std::string& table_group) const {
+  std::vector<PartitionGroup> out;
+  auto it = groups_.find(table_group);
+  if (it == groups_.end()) return out;
+  for (uint32_t shard = 0; shard < it->second.num_shards; ++shard) {
+    PartitionGroup pg;
+    pg.table_group = table_group;
+    pg.shard = shard;
+    pg.tables = it->second.tables;
+    out.push_back(std::move(pg));
+  }
+  return out;
+}
+
+bool TableGroupRegistry::Colocated(TableId a, TableId b) const {
+  auto ia = table_to_group_.find(a);
+  auto ib = table_to_group_.find(b);
+  return ia != table_to_group_.end() && ib != table_to_group_.end() &&
+         ia->second == ib->second;
+}
+
+}  // namespace polarx

@@ -1,0 +1,118 @@
+// Partitioning metadata (§II-B): hash partitioning on the primary key,
+// implicit primary keys, table groups / partition groups, and local/global
+// secondary index definitions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/storage/key_codec.h"
+#include "src/storage/value.h"
+
+namespace polarx {
+
+/// A global secondary index (§II-B): partitioned by the indexed columns and
+/// stored as a hidden table. Clustered variants carry all columns so reads
+/// avoid a second hop to the primary shards.
+struct GlobalIndexDef {
+  std::string name;
+  std::vector<uint32_t> columns;  // indexed columns (its partition key)
+  bool clustered = false;
+  /// Hidden table id backing this index.
+  TableId hidden_table = 0;
+};
+
+/// Logical definition of a partitioned table.
+struct TableDef {
+  TableId id = 0;
+  std::string name;
+  Schema schema;
+  uint32_t num_shards = 4;
+  /// Optional table group: tables in one group share the partition rule and
+  /// placement (shard i of every member lives on the same DN).
+  std::string table_group;
+  /// True if the user declared no primary key and an implicit auto-increment
+  /// BIGINT `__pk` column was prepended.
+  bool implicit_pk = false;
+  std::vector<GlobalIndexDef> global_indexes;
+  std::vector<std::pair<std::string, std::vector<uint32_t>>> local_indexes;
+};
+
+/// Builds a TableDef from user columns. If `key_columns` is empty, an
+/// implicit auto-increment BIGINT primary key column `__pk` is prepended
+/// (invisible to users), as §II-B specifies.
+TableDef MakeTableDef(TableId id, const std::string& name,
+                      std::vector<ColumnDef> columns,
+                      std::vector<uint32_t> key_columns,
+                      uint32_t num_shards);
+
+/// Routing of keys/rows to shards.
+class PartitionRule {
+ public:
+  explicit PartitionRule(uint32_t num_shards) : num_shards_(num_shards) {}
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// Shard of an encoded partition key.
+  ShardId ShardOfKey(const EncodedKey& key) const {
+    return ShardOf(key, num_shards_);
+  }
+
+  /// Shard of a full row under `schema` (extracts the key first).
+  ShardId ShardOfRow(const Schema& schema, const Row& row) const {
+    return ShardOfKey(EncodeKey(schema.ExtractKey(row)));
+  }
+
+ private:
+  uint32_t num_shards_;
+};
+
+/// A partition group: the co-located shard set (one shard from each table
+/// of a table group). The unit of migration/resharding (§II-B, §V).
+struct PartitionGroup {
+  std::string table_group;
+  ShardId shard = 0;
+  std::vector<TableId> tables;
+};
+
+/// Table-group registry: enforces that member tables agree on shard count
+/// and yields partition groups.
+class TableGroupRegistry {
+ public:
+  /// Registers `def` into its table group (no-op if def.table_group empty).
+  Status Register(const TableDef& def);
+
+  /// All partition groups of a table group.
+  std::vector<PartitionGroup> GroupsOf(const std::string& table_group) const;
+
+  /// Whether two tables are in the same table group (partition-wise join /
+  /// single-shard transactions apply, §II-B).
+  bool Colocated(TableId a, TableId b) const;
+
+ private:
+  struct GroupInfo {
+    uint32_t num_shards = 0;
+    std::vector<TableId> tables;
+  };
+  std::map<std::string, GroupInfo> groups_;
+  std::map<TableId, std::string> table_to_group_;
+};
+
+/// Per-table auto-increment sequence for implicit primary keys (backed by
+/// GMS system tables in production).
+class Sequence {
+ public:
+  int64_t Next() { return next_++; }
+  int64_t Peek() const { return next_; }
+
+ private:
+  int64_t next_ = 1;
+};
+
+}  // namespace polarx

@@ -1,0 +1,120 @@
+#include "src/polarfs/parallel_raft.h"
+
+#include <algorithm>
+
+namespace polarx {
+
+namespace {
+bool RangesOverlap(uint64_t a_lba, uint32_t a_len, uint64_t b_lba,
+                   uint32_t b_len) {
+  return a_lba < b_lba + b_len && b_lba < a_lba + a_len;
+}
+}  // namespace
+
+bool ParallelRaftFollower::Receive(const PrEntry& entry) {
+  if (received_.count(entry.index) != 0) return true;  // duplicate
+  uint64_t contiguous = contiguous_index();
+  bool in_order = entry.index == contiguous + 1;
+  if (!in_order) {
+    // Entries beyond the look-behind window cannot be validated: refuse.
+    if (entry.index > contiguous + options_.look_behind + 1) return false;
+    // Check every missing predecessor in the window for block conflicts.
+    // entry.look_behind_ranges[k] describes entry.index-1-k.
+    for (uint32_t k = 0; k < entry.look_behind_ranges.size(); ++k) {
+      uint64_t pred = entry.index - 1 - k;
+      if (pred == 0) break;
+      if (received_.count(pred) != 0) continue;  // present, no hole
+      const auto& [lba, len] = entry.look_behind_ranges[k];
+      if (RangesOverlap(entry.lba, entry.blocks, lba, len)) {
+        // A missing predecessor writes overlapping blocks: applying now
+        // would risk exposing stale data. Must wait.
+        pending_conflicts_[entry.index] = entry;
+        return false;
+      }
+    }
+  }
+  received_.insert(entry.index);
+  if (in_order) {
+    ++in_order_acks_;
+  } else {
+    ++out_of_order_acks_;
+  }
+  // Receiving this entry may unblock pending conflicted entries.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = pending_conflicts_.begin();
+         it != pending_conflicts_.end();) {
+      PrEntry retry = it->second;
+      it = pending_conflicts_.erase(it);
+      if (Receive(retry)) {
+        progressed = true;
+        break;  // maps mutated; restart
+      }
+    }
+  }
+  return true;
+}
+
+uint64_t ParallelRaftFollower::contiguous_index() const {
+  uint64_t idx = 0;
+  for (uint64_t i : received_) {
+    if (i == idx + 1) {
+      idx = i;
+    } else {
+      break;
+    }
+  }
+  return idx;
+}
+
+ParallelRaftLeader::ParallelRaftLeader(ParallelRaftOptions options)
+    : options_(options) {
+  for (uint32_t i = 0; i < options_.num_followers; ++i) {
+    followers_.push_back(std::make_unique<ParallelRaftFollower>(i, options_));
+    uint32_t idx = i;
+    delivery_.push_back([this, idx](const PrEntry& e) {
+      return followers_[idx]->Receive(e);
+    });
+  }
+}
+
+void ParallelRaftLeader::SetDelivery(uint32_t follower, DeliveryFn fn) {
+  delivery_[follower] = std::move(fn);
+}
+
+uint64_t ParallelRaftLeader::Append(uint64_t lba, uint32_t blocks) {
+  PrEntry entry;
+  entry.index = next_index_++;
+  entry.lba = lba;
+  entry.blocks = blocks;
+  // Attach the previous N entries' ranges (newest first).
+  for (auto it = recent_.rbegin();
+       it != recent_.rend() &&
+       entry.look_behind_ranges.size() < options_.look_behind;
+       ++it) {
+    entry.look_behind_ranges.emplace_back(it->lba, it->blocks);
+  }
+  recent_.push_back(entry);
+  if (recent_.size() > options_.look_behind) {
+    recent_.erase(recent_.begin());
+  }
+  acks_[entry.index] = 1;  // leader's own copy
+  for (uint32_t f = 0; f < followers_.size(); ++f) {
+    if (delivery_[f](entry)) Ack(f, entry.index);
+  }
+  return entry.index;
+}
+
+void ParallelRaftLeader::Ack(uint32_t /*follower*/, uint64_t index) {
+  ++acks_[index];
+}
+
+bool ParallelRaftLeader::IsCommitted(uint64_t index) const {
+  auto it = acks_.find(index);
+  if (it == acks_.end()) return false;
+  uint32_t total = static_cast<uint32_t>(followers_.size()) + 1;
+  return it->second >= total / 2 + 1;
+}
+
+}  // namespace polarx

@@ -1,0 +1,111 @@
+// ParallelRaft: the consensus protocol PolarFS uses for chunk replication
+// (§II-A). It relaxes Raft's strict in-order acknowledgment: a follower may
+// acknowledge, and apply, a log entry that arrives before its predecessors,
+// as long as the entry's block range does not overlap any of the missing
+// entries in a bounded look-behind window (the entry carries the LBAs of
+// the previous N entries for this check). Out-of-order acks remove
+// head-of-line blocking on parallel I/O paths, which is where PolarFS gets
+// its low tail latency on RDMA.
+//
+// This is an intra-DC protocol; the model here is synchronous (calls between
+// leader and followers are direct), with explicit hooks to drop/reorder
+// deliveries so tests can exercise the out-of-order machinery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace polarx {
+
+/// One replicated block write.
+struct PrEntry {
+  uint64_t index = 0;   // log position (1-based)
+  uint64_t lba = 0;     // logical block address
+  uint32_t blocks = 1;  // length in blocks
+  /// LBA ranges of the previous `look_behind` entries, for hole checks.
+  std::vector<std::pair<uint64_t, uint32_t>> look_behind_ranges;
+};
+
+struct ParallelRaftOptions {
+  /// Size of the look-behind window (N in the paper's description).
+  uint32_t look_behind = 8;
+  uint32_t num_followers = 2;  // three replicas total
+};
+
+/// A follower replica of one chunk.
+class ParallelRaftFollower {
+ public:
+  explicit ParallelRaftFollower(uint32_t id, ParallelRaftOptions options)
+      : id_(id), options_(options) {}
+
+  uint32_t id() const { return id_; }
+
+  /// Delivers an entry (possibly out of order). Returns true if the entry
+  /// was acknowledged: either it is in order, or every missing predecessor
+  /// in the look-behind window has a disjoint block range. Returns false if
+  /// the entry must wait (conflicting hole) — the caller retries later.
+  bool Receive(const PrEntry& entry);
+
+  /// Whether `index` has been received.
+  bool Has(uint64_t index) const { return received_.count(index) != 0; }
+
+  /// Number of entries applied out of their index order.
+  uint64_t out_of_order_acks() const { return out_of_order_acks_; }
+  uint64_t in_order_acks() const { return in_order_acks_; }
+
+  /// Highest contiguous received index (entries 1..this are all present).
+  uint64_t contiguous_index() const;
+
+ private:
+  uint32_t id_;
+  ParallelRaftOptions options_;
+  std::set<uint64_t> received_;
+  std::map<uint64_t, PrEntry> pending_conflicts_;
+  uint64_t out_of_order_acks_ = 0;
+  uint64_t in_order_acks_ = 0;
+};
+
+/// The chunk leader: assigns indices, fans writes out, counts acks.
+class ParallelRaftLeader {
+ public:
+  explicit ParallelRaftLeader(ParallelRaftOptions options = ParallelRaftOptions{});
+
+  /// Delivery hook for follower f: defaults to immediate delivery. Tests
+  /// replace this to drop or delay entries (returning whether delivered).
+  using DeliveryFn = std::function<bool(const PrEntry&)>;
+  void SetDelivery(uint32_t follower, DeliveryFn fn);
+
+  ParallelRaftFollower* follower(uint32_t i) { return followers_[i].get(); }
+  size_t num_followers() const { return followers_.size(); }
+
+  /// Replicates a block write; returns its log index.
+  uint64_t Append(uint64_t lba, uint32_t blocks);
+
+  /// Records an ack from follower `f` for entry `index` (used by tests that
+  /// deliver manually). Normal Append() path records acks automatically.
+  void Ack(uint32_t follower, uint64_t index);
+
+  /// An entry is committed once a majority (leader + 1 of 2 followers for
+  /// 3 replicas) holds it. Out-of-order commit is allowed.
+  bool IsCommitted(uint64_t index) const;
+
+  uint64_t last_index() const { return next_index_ - 1; }
+
+ private:
+  ParallelRaftOptions options_;
+  std::vector<std::unique_ptr<ParallelRaftFollower>> followers_;
+  std::vector<DeliveryFn> delivery_;
+  uint64_t next_index_ = 1;
+  /// Recent entry ranges for building look-behind metadata.
+  std::vector<PrEntry> recent_;
+  /// acks[index] = number of replicas (incl. leader) holding the entry.
+  std::map<uint64_t, uint32_t> acks_;
+};
+
+}  // namespace polarx

@@ -1,0 +1,64 @@
+// Replays a redo record stream into a mirror TableCatalog. Used by RO
+// replicas (§II-C), by Paxos followers that materialize data, by crash
+// recovery, and by the in-memory column index's logical-log capture.
+//
+// Apply semantics mirror the write path: row records install uncommitted
+// versions keyed by TxnId; the kTxnCommit record stamps them with the commit
+// timestamp (making them visible to snapshot reads); kTxnAbort unlinks them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/storage/redo.h"
+#include "src/storage/table.h"
+
+namespace polarx {
+
+class RedoApplier {
+ public:
+  explicit RedoApplier(TableCatalog* catalog);
+
+  /// Applies one record. Unknown tables are skipped (the mirror may hold a
+  /// subset, e.g. one tenant's tables).
+  Status Apply(const RedoRecord& rec);
+
+  /// Applies every record in a batch.
+  Status ApplyAll(const std::vector<RedoRecord>& records);
+
+  /// Largest commit timestamp applied so far: the replica's snapshot version.
+  Timestamp max_commit_ts() const { return max_commit_ts_; }
+
+  /// Number of row operations applied (telemetry).
+  uint64_t rows_applied() const { return rows_applied_; }
+  uint64_t txns_committed() const { return txns_committed_; }
+
+  /// Registers a hook fired after each commit record is applied, with the
+  /// transaction's row operations (the column index subscribes here).
+  using CommitHook = std::function<void(TxnId, Timestamp,
+                                        const std::vector<RedoRecord>&)>;
+  void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+ private:
+  struct PendingWrite {
+    TableId table;
+    EncodedKey key;
+    VersionPtr version;
+  };
+
+  TableCatalog* catalog_;
+  /// Uncommitted applied writes per transaction, plus the raw records for
+  /// the commit hook.
+  std::unordered_map<TxnId, std::vector<PendingWrite>> pending_;
+  std::unordered_map<TxnId, std::vector<RedoRecord>> pending_records_;
+  Timestamp max_commit_ts_ = 0;
+  uint64_t rows_applied_ = 0;
+  uint64_t txns_committed_ = 0;
+  CommitHook commit_hook_;
+};
+
+}  // namespace polarx

@@ -1,0 +1,70 @@
+#include "src/sim/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace polarx::sim {
+
+Network::Network(Scheduler* sched, NetworkConfig config)
+    : sched_(sched), config_(config), rng_(config.seed) {
+  assert(sched_ != nullptr);
+}
+
+NodeId Network::AddNode(DcId dc, std::string name) {
+  NodeId id = static_cast<NodeId>(dc_of_.size());
+  dc_of_.push_back(dc);
+  if (name.empty()) name = "node-" + std::to_string(id);
+  names_.push_back(std::move(name));
+  node_up_.push_back(true);
+  dc_up_.emplace(dc, true);
+  return id;
+}
+
+DcId Network::DcOf(NodeId node) const {
+  assert(node < dc_of_.size());
+  return dc_of_[node];
+}
+
+const std::string& Network::NameOf(NodeId node) const {
+  assert(node < names_.size());
+  return names_[node];
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  assert(node < node_up_.size());
+  node_up_[node] = up;
+}
+
+bool Network::IsNodeUp(NodeId node) const {
+  if (node >= node_up_.size()) return false;
+  if (!node_up_[node]) return false;
+  auto it = dc_up_.find(dc_of_[node]);
+  return it == dc_up_.end() || it->second;
+}
+
+void Network::SetDcUp(DcId dc, bool up) { dc_up_[dc] = up; }
+
+SimTime Network::SampleLatency(NodeId from, NodeId to, size_t size_bytes) {
+  SimTime base = (DcOf(from) == DcOf(to)) ? config_.intra_dc_one_way_us
+                                          : config_.inter_dc_one_way_us;
+  double transmit = double(size_bytes) / config_.bytes_per_us;
+  double total = (double(base) + transmit) *
+                 (1.0 + rng_.NextDouble() * config_.jitter);
+  SimTime lat = static_cast<SimTime>(total);
+  return lat == 0 ? 1 : lat;
+}
+
+void Network::Send(NodeId from, NodeId to, size_t size_bytes,
+                   std::function<void()> deliver) {
+  if (!IsNodeUp(from) || !IsNodeUp(to)) return;  // dropped on the floor
+  ++messages_sent_;
+  bytes_sent_ += size_bytes;
+  SimTime lat = SampleLatency(from, to, size_bytes);
+  // Re-check the destination at delivery time: it may have crashed while the
+  // message was in flight.
+  sched_->ScheduleAfter(lat, [this, to, deliver = std::move(deliver)] {
+    if (IsNodeUp(to)) deliver();
+  });
+}
+
+}  // namespace polarx::sim

@@ -1,0 +1,79 @@
+// Simulated cluster network: nodes placed in datacenters, per-link latency
+// derived from topology (intra-DC vs inter-DC) plus transmission time and
+// jitter. Message payloads are typed closures executed at delivery time; the
+// protocol logic they invoke is the real library code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/scheduler.h"
+
+namespace polarx::sim {
+
+/// Latency parameters of the simulated fabric. Defaults model the paper's
+/// setup: ~1 ms RTT between datacenters, fast intra-DC links.
+struct NetworkConfig {
+  /// One-way latency between nodes in the same DC (us). 50us => 0.1ms RTT.
+  SimTime intra_dc_one_way_us = 50;
+  /// One-way latency between nodes in different DCs (us). 500us => 1ms RTT.
+  SimTime inter_dc_one_way_us = 500;
+  /// Link bandwidth in bytes per microsecond (1000 => ~1 GB/s).
+  double bytes_per_us = 1000.0;
+  /// Relative jitter: each delivery multiplies latency by U[1, 1+jitter].
+  double jitter = 0.05;
+  /// Seed for jitter sampling.
+  uint64_t seed = 42;
+};
+
+/// Placement and message routing for a simulated cluster.
+class Network {
+ public:
+  Network(Scheduler* sched, NetworkConfig config = {});
+
+  /// Registers a node in datacenter `dc`; returns its NodeId.
+  NodeId AddNode(DcId dc, std::string name = "");
+
+  DcId DcOf(NodeId node) const;
+  const std::string& NameOf(NodeId node) const;
+  size_t NumNodes() const { return dc_of_.size(); }
+
+  /// Marks a node down: messages to/from it are silently dropped.
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+
+  /// Disconnects/reconnects an entire datacenter (disaster injection).
+  void SetDcUp(DcId dc, bool up);
+
+  /// Sends `size_bytes` of payload from `from` to `to`; `deliver` runs on the
+  /// virtual clock after the sampled latency, unless either endpoint (or its
+  /// DC) is down at send time.
+  void Send(NodeId from, NodeId to, size_t size_bytes,
+            std::function<void()> deliver);
+
+  /// One-way latency sample for a (from, to) pair and payload size.
+  SimTime SampleLatency(NodeId from, NodeId to, size_t size_bytes);
+
+  Scheduler* scheduler() { return sched_; }
+  const NetworkConfig& config() const { return config_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Scheduler* sched_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<DcId> dc_of_;
+  std::vector<std::string> names_;
+  std::vector<bool> node_up_;
+  std::unordered_map<DcId, bool> dc_up_;
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace polarx::sim

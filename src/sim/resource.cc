@@ -1,0 +1,33 @@
+#include "src/sim/resource.h"
+
+#include <cassert>
+#include <utility>
+
+namespace polarx::sim {
+
+Server::Server(Scheduler* sched, uint32_t cores)
+    : sched_(sched), cores_(cores == 0 ? 1 : cores) {
+  assert(sched_ != nullptr);
+}
+
+void Server::Execute(SimTime service_us, std::function<void()> done) {
+  queue_.push_back(Item{service_us, std::move(done)});
+  StartNext();
+}
+
+void Server::StartNext() {
+  while (busy_ < cores_ && !queue_.empty()) {
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+    busy_time_us_ += item.service_us;
+    sched_->ScheduleAfter(item.service_us,
+                          [this, done = std::move(item.done)] {
+                            --busy_;
+                            done();
+                            StartNext();
+                          });
+  }
+}
+
+}  // namespace polarx::sim

@@ -1,0 +1,40 @@
+#include "src/sim/scheduler.h"
+
+#include <utility>
+
+namespace polarx::sim {
+
+void Scheduler::ScheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Scheduler::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the event is copied out so that the
+  // handler may schedule further events (mutating the queue) safely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Scheduler::Run() {
+  while (Step()) {
+  }
+}
+
+void Scheduler::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace polarx::sim

@@ -1,0 +1,664 @@
+#include "src/sql/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "src/exec/operator.h"
+#include "src/storage/key_codec.h"
+
+namespace polarx::sql {
+
+namespace {
+
+// ------------------------------------------------------------- lexer --
+
+enum class TokType { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokType type = TokType::kEnd;
+  std::string text;   // uppercased for idents
+  std::string raw;    // original spelling
+  double number = 0;
+  bool is_int = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  bool TakeIf(const std::string& upper) {
+    if (current_.type == TokType::kIdent && current_.text == upper) {
+      Advance();
+      return true;
+    }
+    if (current_.type == TokType::kSymbol && current_.text == upper) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const std::string& upper) {
+    if (!TakeIf(upper)) {
+      return Status::InvalidArgument("expected " + upper + " near '" +
+                                     current_.raw + "'");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token();
+    if (pos_ >= input_.size()) return;
+    char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.type = TokType::kIdent;
+      current_.raw = input_.substr(start, pos_ - start);
+      current_.text = current_.raw;
+      std::transform(current_.text.begin(), current_.text.end(),
+                     current_.text.begin(), ::toupper);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      size_t start = pos_;
+      ++pos_;
+      bool is_int = true;
+      while (pos_ < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '.')) {
+        if (input_[pos_] == '.') is_int = false;
+        ++pos_;
+      }
+      current_.type = TokType::kNumber;
+      current_.raw = input_.substr(start, pos_ - start);
+      current_.number = std::stod(current_.raw);
+      current_.is_int = is_int;
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string s;
+      while (pos_ < input_.size() && input_[pos_] != '\'') {
+        s.push_back(input_[pos_++]);
+      }
+      ++pos_;  // closing quote
+      current_.type = TokType::kString;
+      current_.raw = s;
+      current_.text = s;
+      return;
+    }
+    // multi-char operators
+    static const char* kTwo[] = {"<=", ">=", "!=", "<>"};
+    for (const char* op : kTwo) {
+      if (input_.compare(pos_, 2, op) == 0) {
+        current_.type = TokType::kSymbol;
+        current_.text = current_.raw = op;
+        pos_ += 2;
+        return;
+      }
+    }
+    current_.type = TokType::kSymbol;
+    current_.text = current_.raw = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+// --------------------------------------------------------------- AST --
+
+struct AggItem {
+  AggOp op;
+  std::string column;  // empty for COUNT(*)
+  std::string label;
+};
+
+struct SelectStmt {
+  std::string table;
+  bool star = false;
+  std::vector<std::string> columns;
+  std::vector<AggItem> aggs;
+  std::vector<std::string> group_by;
+  ExprPtr where;                       // built after binding
+  std::vector<std::pair<std::string, bool>> order_by;  // (col, asc)
+  size_t limit = 0;
+  // raw where conditions before binding: (col, op, literal) / LIKE
+  struct Cond {
+    std::string column;
+    std::string op;  // "=", "<", "LIKE", ...
+    Value literal;
+  };
+  std::vector<Cond> conds;
+};
+
+Result<Value> ParseLiteral(Lexer* lex) {
+  Token t = lex->Take();
+  if (t.type == TokType::kNumber) {
+    if (t.is_int) return Value{int64_t(t.number)};
+    return Value{t.number};
+  }
+  if (t.type == TokType::kString) return Value{t.raw};
+  if (t.type == TokType::kIdent && t.text == "NULL") return Value{};
+  return Status::InvalidArgument("expected literal near '" + t.raw + "'");
+}
+
+Result<std::vector<SelectStmt::Cond>> ParseWhere(Lexer* lex) {
+  std::vector<SelectStmt::Cond> conds;
+  do {
+    Token col = lex->Take();
+    if (col.type != TokType::kIdent) {
+      return Status::InvalidArgument("expected column in WHERE");
+    }
+    SelectStmt::Cond cond;
+    cond.column = col.raw;
+    Token op = lex->Take();
+    if (op.type == TokType::kIdent && op.text == "LIKE") {
+      cond.op = "LIKE";
+    } else if (op.type == TokType::kSymbol &&
+               (op.text == "=" || op.text == "<" || op.text == ">" ||
+                op.text == "<=" || op.text == ">=" || op.text == "!=" ||
+                op.text == "<>")) {
+      cond.op = op.text == "<>" ? "!=" : op.text;
+    } else {
+      return Status::InvalidArgument("bad operator '" + op.raw + "'");
+    }
+    POLARX_ASSIGN_OR_RETURN(cond.literal, ParseLiteral(lex));
+    conds.push_back(std::move(cond));
+  } while (lex->TakeIf("AND"));
+  return conds;
+}
+
+/// Binds raw conditions to an Expr over `schema` column positions.
+Result<ExprPtr> BindWhere(const std::vector<SelectStmt::Cond>& conds,
+                          const Schema& schema) {
+  ExprPtr expr;
+  for (const auto& cond : conds) {
+    int col = schema.FindColumn(cond.column);
+    if (col < 0) return Status::NotFound("unknown column " + cond.column);
+    ExprPtr piece;
+    if (cond.op == "LIKE") {
+      const auto* pattern = std::get_if<std::string>(&cond.literal);
+      if (pattern == nullptr) {
+        return Status::InvalidArgument("LIKE needs a string");
+      }
+      std::string p = *pattern;
+      if (!p.empty() && p.back() == '%' && p.front() != '%') {
+        piece = Expr::StartsWith(Expr::Col(col), p.substr(0, p.size() - 1));
+      } else {
+        std::string needle = p;
+        needle.erase(std::remove(needle.begin(), needle.end(), '%'),
+                     needle.end());
+        piece = Expr::Contains(Expr::Col(col), needle);
+      }
+    } else {
+      CmpOp op = CmpOp::kEq;
+      if (cond.op == "=") op = CmpOp::kEq;
+      else if (cond.op == "!=") op = CmpOp::kNe;
+      else if (cond.op == "<") op = CmpOp::kLt;
+      else if (cond.op == "<=") op = CmpOp::kLe;
+      else if (cond.op == ">") op = CmpOp::kGt;
+      else if (cond.op == ">=") op = CmpOp::kGe;
+      piece = Expr::ColCmp(op, col, cond.literal);
+    }
+    expr = expr == nullptr ? piece : Expr::And(expr, piece);
+  }
+  return expr;  // may be null (no WHERE)
+}
+
+std::string FormatCell(const Value& v) { return ValueToString(v); }
+
+}  // namespace
+
+std::string SqlResult::ToString() const {
+  std::ostringstream out;
+  if (!message.empty()) {
+    out << message << "\n";
+    return out.str();
+  }
+  std::vector<size_t> widths(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) widths[i] = columns[i].size();
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& row : rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size() && i < columns.size(); ++i) {
+      line.push_back(FormatCell(row[i]));
+      widths[i] = std::max(widths[i], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  auto rule = [&] {
+    out << "+";
+    for (size_t w : widths) out << std::string(w + 2, '-') << "+";
+    out << "\n";
+  };
+  rule();
+  out << "|";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out << " " << columns[i] << std::string(widths[i] - columns[i].size(), ' ')
+        << " |";
+  }
+  out << "\n";
+  rule();
+  for (const auto& line : cells) {
+    out << "|";
+    for (size_t i = 0; i < line.size(); ++i) {
+      out << " " << line[i] << std::string(widths[i] - line[i].size(), ' ')
+          << " |";
+    }
+    out << "\n";
+  }
+  rule();
+  out << rows.size() << " row(s)\n";
+  return out.str();
+}
+
+Session::Session(TxnEngine* engine) : engine_(engine) {}
+
+class Executor {
+ public:
+  Executor(Session* session, TxnEngine* engine)
+      : session_(session), engine_(engine) {}
+
+  Result<SqlResult> Run(const std::string& statement) {
+    Lexer lex(statement);
+    Token first = lex.Take();
+    if (first.type != TokType::kIdent) {
+      return Status::InvalidArgument("empty or malformed statement");
+    }
+    if (first.text == "CREATE") return CreateTable(&lex);
+    if (first.text == "INSERT") return Insert(&lex);
+    if (first.text == "SELECT") return Select(&lex);
+    if (first.text == "UPDATE") return Update(&lex);
+    if (first.text == "DELETE") return Delete(&lex);
+    if (first.text == "BEGIN" || first.text == "START") return Begin();
+    if (first.text == "COMMIT") return Commit();
+    if (first.text == "ROLLBACK") return Rollback();
+    return Status::NotSupported("statement " + first.text);
+  }
+
+ private:
+  /// The transaction to use: the session's explicit one, or a fresh
+  /// autocommit transaction (committed by Finish).
+  TxnId Acquire(bool* autocommit) {
+    if (session_->txn_ != kInvalidTxnId) {
+      *autocommit = false;
+      return session_->txn_;
+    }
+    *autocommit = true;
+    return engine_->Begin();
+  }
+
+  Status Finish(TxnId txn, bool autocommit, bool ok) {
+    if (!autocommit) {
+      if (!ok) {
+        engine_->Abort(txn);
+        session_->txn_ = kInvalidTxnId;
+      }
+      return Status::Ok();
+    }
+    if (ok) return engine_->CommitLocal(txn).status();
+    return engine_->Abort(txn);
+  }
+
+  Result<SqlResult> CreateTable(Lexer* lex) {
+    POLARX_RETURN_NOT_OK(lex->Expect("TABLE"));
+    Token name = lex->Take();
+    if (engine_->catalog()->FindTableByName(name.raw) != nullptr) {
+      return Status::InvalidArgument("table " + name.raw + " exists");
+    }
+    POLARX_RETURN_NOT_OK(lex->Expect("("));
+    std::vector<ColumnDef> columns;
+    std::vector<uint32_t> keys;
+    do {
+      Token col = lex->Take();
+      Token type = lex->Take();
+      ColumnDef def;
+      def.name = col.raw;
+      if (type.text == "BIGINT" || type.text == "INT" ||
+          type.text == "INTEGER") {
+        def.type = ValueType::kInt64;
+      } else if (type.text == "DOUBLE" || type.text == "DECIMAL" ||
+                 type.text == "FLOAT") {
+        def.type = ValueType::kDouble;
+      } else if (type.text == "VARCHAR" || type.text == "TEXT" ||
+                 type.text == "CHAR") {
+        def.type = ValueType::kString;
+        if (lex->TakeIf("(")) {  // VARCHAR(n)
+          lex->Take();
+          POLARX_RETURN_NOT_OK(lex->Expect(")"));
+        }
+      } else {
+        return Status::NotSupported("type " + type.raw);
+      }
+      if (lex->TakeIf("PRIMARY")) {
+        POLARX_RETURN_NOT_OK(lex->Expect("KEY"));
+        keys.push_back(uint32_t(columns.size()));
+        def.nullable = false;
+      }
+      if (lex->TakeIf("NOT")) {
+        POLARX_RETURN_NOT_OK(lex->Expect("NULL"));
+        def.nullable = false;
+      }
+      columns.push_back(std::move(def));
+    } while (lex->TakeIf(","));
+    POLARX_RETURN_NOT_OK(lex->Expect(")"));
+    if (keys.empty()) {
+      return Status::InvalidArgument(
+          "a PRIMARY KEY column is required (the distributed layer adds "
+          "implicit keys; the local engine does not)");
+    }
+    auto table = engine_->catalog()->CreateTable(
+        session_->next_table_id_++, name.raw,
+        Schema(std::move(columns), std::move(keys)), 0);
+    if (!table.ok()) return table.status();
+    SqlResult result;
+    result.message = "created table " + name.raw;
+    return result;
+  }
+
+  Result<SqlResult> Insert(Lexer* lex) {
+    POLARX_RETURN_NOT_OK(lex->Expect("INTO"));
+    Token name = lex->Take();
+    TableStore* table = engine_->catalog()->FindTableByName(name.raw);
+    if (table == nullptr) return Status::NotFound("table " + name.raw);
+    POLARX_RETURN_NOT_OK(lex->Expect("VALUES"));
+    bool autocommit;
+    TxnId txn = Acquire(&autocommit);
+    uint64_t inserted = 0;
+    do {
+      POLARX_RETURN_NOT_OK(lex->Expect("("));
+      Row row;
+      do {
+        POLARX_ASSIGN_OR_RETURN(Value v, ParseLiteral(lex));
+        row.push_back(std::move(v));
+      } while (lex->TakeIf(","));
+      POLARX_RETURN_NOT_OK(lex->Expect(")"));
+      Status s = engine_->Insert(txn, table->id(), row);
+      if (!s.ok()) {
+        Finish(txn, autocommit, false);
+        return s;
+      }
+      ++inserted;
+    } while (lex->TakeIf(","));
+    POLARX_RETURN_NOT_OK(Finish(txn, autocommit, true));
+    SqlResult result;
+    result.affected_rows = inserted;
+    result.message = "inserted " + std::to_string(inserted) + " row(s)";
+    return result;
+  }
+
+  Result<SqlResult> Select(Lexer* lex) {
+    SelectStmt stmt;
+    // select list
+    do {
+      if (lex->TakeIf("*")) {
+        stmt.star = true;
+        continue;
+      }
+      Token item = lex->Take();
+      static const std::map<std::string, AggOp> kAggs = {
+          {"COUNT", AggOp::kCount}, {"SUM", AggOp::kSum},
+          {"AVG", AggOp::kAvg},     {"MIN", AggOp::kMin},
+          {"MAX", AggOp::kMax}};
+      auto agg_it = kAggs.find(item.text);
+      if (agg_it != kAggs.end() && lex->TakeIf("(")) {
+        AggItem agg;
+        agg.op = agg_it->second;
+        if (lex->TakeIf("*")) {
+          agg.label = item.text + "(*)";
+        } else {
+          Token col = lex->Take();
+          agg.column = col.raw;
+          agg.label = item.text + "(" + col.raw + ")";
+        }
+        POLARX_RETURN_NOT_OK(lex->Expect(")"));
+        stmt.aggs.push_back(std::move(agg));
+      } else {
+        stmt.columns.push_back(item.raw);
+      }
+    } while (lex->TakeIf(","));
+    POLARX_RETURN_NOT_OK(lex->Expect("FROM"));
+    stmt.table = lex->Take().raw;
+    if (lex->TakeIf("WHERE")) {
+      POLARX_ASSIGN_OR_RETURN(stmt.conds, ParseWhere(lex));
+    }
+    if (lex->TakeIf("GROUP")) {
+      POLARX_RETURN_NOT_OK(lex->Expect("BY"));
+      do {
+        stmt.group_by.push_back(lex->Take().raw);
+      } while (lex->TakeIf(","));
+    }
+    if (lex->TakeIf("ORDER")) {
+      POLARX_RETURN_NOT_OK(lex->Expect("BY"));
+      do {
+        std::string col = lex->Take().raw;
+        bool asc = true;
+        if (lex->TakeIf("DESC")) asc = false;
+        else lex->TakeIf("ASC");
+        stmt.order_by.emplace_back(col, asc);
+      } while (lex->TakeIf(","));
+    }
+    if (lex->TakeIf("LIMIT")) {
+      Token n = lex->Take();
+      stmt.limit = size_t(n.number);
+    }
+    return RunSelect(stmt);
+  }
+
+  Result<SqlResult> RunSelect(const SelectStmt& stmt) {
+    TableStore* table = engine_->catalog()->FindTableByName(stmt.table);
+    if (table == nullptr) return Status::NotFound("table " + stmt.table);
+    const Schema& schema = table->schema();
+    POLARX_ASSIGN_OR_RETURN(ExprPtr where, BindWhere(stmt.conds, schema));
+
+    bool autocommit;
+    TxnId txn = Acquire(&autocommit);
+    auto info = engine_->InfoOf(txn);
+    Timestamp snapshot = info.ok() ? info->snapshot_ts : 0;
+
+    OperatorPtr plan = std::make_unique<TableScanOp>(
+        std::vector<TableStore*>{table}, snapshot, where);
+
+    SqlResult result;
+    if (!stmt.aggs.empty() || !stmt.group_by.empty()) {
+      std::vector<ExprPtr> groups;
+      for (const auto& g : stmt.group_by) {
+        int col = schema.FindColumn(g);
+        if (col < 0) return Status::NotFound("unknown column " + g);
+        groups.push_back(Expr::Col(col));
+        result.columns.push_back(g);
+      }
+      std::vector<AggSpec> specs;
+      for (const auto& agg : stmt.aggs) {
+        ExprPtr arg;
+        if (!agg.column.empty()) {
+          int col = schema.FindColumn(agg.column);
+          if (col < 0) return Status::NotFound("unknown column " + agg.column);
+          arg = Expr::Col(col);
+        }
+        specs.push_back({agg.op, arg});
+        result.columns.push_back(agg.label);
+      }
+      plan = std::make_unique<HashAggOp>(std::move(plan), std::move(groups),
+                                         std::move(specs));
+    } else if (stmt.star) {
+      for (const auto& col : schema.columns()) {
+        result.columns.push_back(col.name);
+      }
+    } else {
+      std::vector<ExprPtr> projections;
+      for (const auto& name : stmt.columns) {
+        int col = schema.FindColumn(name);
+        if (col < 0) return Status::NotFound("unknown column " + name);
+        projections.push_back(Expr::Col(col));
+        result.columns.push_back(name);
+      }
+      plan = std::make_unique<ProjectOp>(std::move(plan),
+                                         std::move(projections));
+    }
+    if (!stmt.order_by.empty()) {
+      std::vector<SortKey> keys;
+      for (const auto& [name, asc] : stmt.order_by) {
+        auto it = std::find(result.columns.begin(), result.columns.end(),
+                            name);
+        if (it == result.columns.end()) {
+          return Status::NotFound("ORDER BY column " + name +
+                                  " not in select list");
+        }
+        keys.push_back({int(it - result.columns.begin()), asc});
+      }
+      plan = std::make_unique<SortOp>(std::move(plan), std::move(keys),
+                                      stmt.limit);
+    } else if (stmt.limit > 0) {
+      plan = std::make_unique<LimitOp>(std::move(plan), stmt.limit);
+    }
+
+    auto rows = Collect(plan.get());
+    POLARX_RETURN_NOT_OK(Finish(txn, autocommit, rows.ok()));
+    if (!rows.ok()) return rows.status();
+    result.rows = std::move(*rows);
+    return result;
+  }
+
+  Result<SqlResult> Update(Lexer* lex) {
+    Token name = lex->Take();
+    TableStore* table = engine_->catalog()->FindTableByName(name.raw);
+    if (table == nullptr) return Status::NotFound("table " + name.raw);
+    const Schema& schema = table->schema();
+    POLARX_RETURN_NOT_OK(lex->Expect("SET"));
+    std::vector<std::pair<int, Value>> sets;
+    do {
+      Token col = lex->Take();
+      int idx = schema.FindColumn(col.raw);
+      if (idx < 0) return Status::NotFound("unknown column " + col.raw);
+      POLARX_RETURN_NOT_OK(lex->Expect("="));
+      POLARX_ASSIGN_OR_RETURN(Value v, ParseLiteral(lex));
+      sets.emplace_back(idx, std::move(v));
+    } while (lex->TakeIf(","));
+    std::vector<SelectStmt::Cond> conds;
+    if (lex->TakeIf("WHERE")) {
+      POLARX_ASSIGN_OR_RETURN(conds, ParseWhere(lex));
+    }
+    POLARX_ASSIGN_OR_RETURN(ExprPtr where, BindWhere(conds, schema));
+
+    bool autocommit;
+    TxnId txn = Acquire(&autocommit);
+    std::vector<Row> to_update;
+    Status s = engine_->ScanVisible(
+        txn, table->id(), "", "", [&](const EncodedKey&, const Row& row) {
+          if (where == nullptr || where->EvalBool(row)) {
+            to_update.push_back(row);
+          }
+          return true;
+        });
+    for (Row& row : to_update) {
+      if (!s.ok()) break;
+      for (const auto& [idx, v] : sets) row[idx] = v;
+      s = engine_->Update(txn, table->id(), row);
+    }
+    POLARX_RETURN_NOT_OK(Finish(txn, autocommit, s.ok()));
+    POLARX_RETURN_NOT_OK(s);
+    SqlResult result;
+    result.affected_rows = to_update.size();
+    result.message = "updated " + std::to_string(to_update.size()) +
+                     " row(s)";
+    return result;
+  }
+
+  Result<SqlResult> Delete(Lexer* lex) {
+    POLARX_RETURN_NOT_OK(lex->Expect("FROM"));
+    Token name = lex->Take();
+    TableStore* table = engine_->catalog()->FindTableByName(name.raw);
+    if (table == nullptr) return Status::NotFound("table " + name.raw);
+    std::vector<SelectStmt::Cond> conds;
+    if (lex->TakeIf("WHERE")) {
+      POLARX_ASSIGN_OR_RETURN(conds, ParseWhere(lex));
+    }
+    POLARX_ASSIGN_OR_RETURN(ExprPtr where,
+                            BindWhere(conds, table->schema()));
+    bool autocommit;
+    TxnId txn = Acquire(&autocommit);
+    std::vector<EncodedKey> keys;
+    Status s = engine_->ScanVisible(
+        txn, table->id(), "", "", [&](const EncodedKey& key, const Row& row) {
+          if (where == nullptr || where->EvalBool(row)) keys.push_back(key);
+          return true;
+        });
+    for (const auto& key : keys) {
+      if (!s.ok()) break;
+      s = engine_->Delete(txn, table->id(), key);
+    }
+    POLARX_RETURN_NOT_OK(Finish(txn, autocommit, s.ok()));
+    POLARX_RETURN_NOT_OK(s);
+    SqlResult result;
+    result.affected_rows = keys.size();
+    result.message = "deleted " + std::to_string(keys.size()) + " row(s)";
+    return result;
+  }
+
+  Result<SqlResult> Begin() {
+    if (session_->txn_ != kInvalidTxnId) {
+      return Status::InvalidArgument("transaction already open");
+    }
+    session_->txn_ = engine_->Begin();
+    SqlResult result;
+    result.message = "transaction started";
+    return result;
+  }
+
+  Result<SqlResult> Commit() {
+    if (session_->txn_ == kInvalidTxnId) {
+      return Status::InvalidArgument("no open transaction");
+    }
+    auto cts = engine_->CommitLocal(session_->txn_);
+    session_->txn_ = kInvalidTxnId;
+    if (!cts.ok()) return cts.status();
+    SqlResult result;
+    result.message = "committed";
+    return result;
+  }
+
+  Result<SqlResult> Rollback() {
+    if (session_->txn_ == kInvalidTxnId) {
+      return Status::InvalidArgument("no open transaction");
+    }
+    engine_->Abort(session_->txn_);
+    session_->txn_ = kInvalidTxnId;
+    SqlResult result;
+    result.message = "rolled back";
+    return result;
+  }
+
+  Session* session_;
+  TxnEngine* engine_;
+};
+
+Result<SqlResult> Session::Execute(const std::string& statement) {
+  Executor executor(this, engine_);
+  return executor.Run(statement);
+}
+
+}  // namespace polarx::sql

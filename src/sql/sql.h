@@ -1,0 +1,56 @@
+// A mini MySQL-compatible SQL front end for the engine: lexer, recursive-
+// descent parser, and a session executor that binds statements to a
+// TxnEngine. Supported subset:
+//
+//   CREATE TABLE t (col TYPE [PRIMARY KEY], ...)        TYPE: BIGINT|DOUBLE|VARCHAR
+//   INSERT INTO t VALUES (v, ...), (v, ...)
+//   SELECT */cols/aggs FROM t [WHERE conj] [GROUP BY col]
+//          [ORDER BY col [ASC|DESC]] [LIMIT n]           aggs: COUNT(*), SUM/AVG/MIN/MAX(col)
+//   UPDATE t SET col = v, ... [WHERE conj]
+//   DELETE FROM t [WHERE conj]
+//   BEGIN / COMMIT / ROLLBACK
+//
+// WHERE supports conjunctions of <col> <op> <literal> with op in
+// {=, !=, <, <=, >, >=} and <col> LIKE 'pat%'/'%pat%'.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/expr.h"
+#include "src/txn/engine.h"
+
+namespace polarx::sql {
+
+/// Result of executing one statement.
+struct SqlResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  uint64_t affected_rows = 0;
+  std::string message;
+
+  /// Renders an ASCII table (for examples / REPLs).
+  std::string ToString() const;
+};
+
+/// A SQL session over one engine: owns the current explicit transaction (if
+/// any) and executes statements with autocommit otherwise.
+class Session {
+ public:
+  explicit Session(TxnEngine* engine);
+
+  /// Parses and executes one statement.
+  Result<SqlResult> Execute(const std::string& statement);
+
+  bool in_transaction() const { return txn_ != kInvalidTxnId; }
+
+ private:
+  friend class Executor;
+  TxnEngine* engine_;
+  TxnId txn_ = kInvalidTxnId;
+  TableId next_table_id_ = 1000;
+};
+
+}  // namespace polarx::sql

@@ -1,0 +1,180 @@
+#include "src/storage/key_codec.h"
+
+#include <cstring>
+
+namespace polarx {
+
+namespace {
+
+// Type tags chosen so that encoded ordering matches CompareValues:
+// NULL < numbers < strings.
+constexpr uint8_t kTagNull = 0x01;
+constexpr uint8_t kTagNumber = 0x02;
+constexpr uint8_t kTagString = 0x03;
+
+// Converts a double to a uint64 whose unsigned byte order matches the
+// double's numeric order (IEEE-754 trick, also flips the sign bit for
+// integers).
+uint64_t DoubleToOrdered(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  if (bits & (1ULL << 63)) {
+    bits = ~bits;  // negative: flip all bits
+  } else {
+    bits |= (1ULL << 63);  // positive: flip sign bit
+  }
+  return bits;
+}
+
+double OrderedToDouble(uint64_t bits) {
+  if (bits & (1ULL << 63)) {
+    bits &= ~(1ULL << 63);
+  } else {
+    bits = ~bits;
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+void AppendBigEndian64(uint64_t v, EncodedKey* out) {
+  for (int i = 7; i >= 0; --i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint64_t ReadBigEndian64(const EncodedKey& data, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(data[pos + i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+void EncodeValue(const Value& v, EncodedKey* out) {
+  switch (TypeOf(v)) {
+    case ValueType::kNull:
+      out->push_back(static_cast<char>(kTagNull));
+      return;
+    case ValueType::kInt64: {
+      out->push_back(static_cast<char>(kTagNumber));
+      // Encode as double-ordered only when exactly representable; to keep
+      // int64 exactness we use a dedicated path: flip sign bit of the int.
+      // To preserve cross-type numeric order with doubles we store both the
+      // double-ordered form (for ordering) and the exact int (for decode).
+      int64_t i = std::get<int64_t>(v);
+      AppendBigEndian64(DoubleToOrdered(static_cast<double>(i)), out);
+      out->push_back(0x01);  // subtype marker: exact int follows
+      AppendBigEndian64(static_cast<uint64_t>(i) ^ (1ULL << 63), out);
+      return;
+    }
+    case ValueType::kDouble: {
+      out->push_back(static_cast<char>(kTagNumber));
+      AppendBigEndian64(DoubleToOrdered(std::get<double>(v)), out);
+      out->push_back(0x00);  // subtype marker: double
+      AppendBigEndian64(0, out);
+      return;
+    }
+    case ValueType::kString: {
+      out->push_back(static_cast<char>(kTagString));
+      // Escape 0x00 as 0x00 0xFF; terminate with 0x00 0x00 so that prefixes
+      // sort before extensions.
+      const std::string& s = std::get<std::string>(v);
+      for (char c : s) {
+        out->push_back(c);
+        if (c == '\0') out->push_back(static_cast<char>(0xFF));
+      }
+      out->push_back('\0');
+      out->push_back('\0');
+      return;
+    }
+  }
+}
+
+EncodedKey EncodeKey(const Row& values) {
+  EncodedKey out;
+  out.reserve(values.size() * 18);
+  for (const auto& v : values) EncodeValue(v, &out);
+  return out;
+}
+
+Result<Value> DecodeValue(const EncodedKey& data, size_t* pos) {
+  if (*pos >= data.size()) return Status::OutOfRange("key exhausted");
+  uint8_t tag = static_cast<uint8_t>(data[*pos]);
+  ++*pos;
+  switch (tag) {
+    case kTagNull:
+      return Value{std::monostate{}};
+    case kTagNumber: {
+      if (*pos + 17 > data.size()) return Status::Corruption("short number");
+      uint64_t ordered = ReadBigEndian64(data, *pos);
+      uint8_t subtype = static_cast<uint8_t>(data[*pos + 8]);
+      uint64_t exact = ReadBigEndian64(data, *pos + 9);
+      *pos += 17;
+      if (subtype == 0x01) {
+        return Value{static_cast<int64_t>(exact ^ (1ULL << 63))};
+      }
+      return Value{OrderedToDouble(ordered)};
+    }
+    case kTagString: {
+      std::string s;
+      while (true) {
+        if (*pos >= data.size()) return Status::Corruption("short string");
+        char c = data[*pos];
+        ++*pos;
+        if (c == '\0') {
+          if (*pos >= data.size()) return Status::Corruption("short string");
+          char next = data[*pos];
+          ++*pos;
+          if (next == '\0') break;                     // terminator
+          if (static_cast<uint8_t>(next) == 0xFF) {
+            s.push_back('\0');                         // escaped zero
+            continue;
+          }
+          return Status::Corruption("bad string escape");
+        }
+        s.push_back(c);
+      }
+      return Value{std::move(s)};
+    }
+    default:
+      return Status::Corruption("unknown key tag");
+  }
+}
+
+Result<Row> DecodeKey(const EncodedKey& key, size_t arity) {
+  Row row;
+  row.reserve(arity);
+  size_t pos = 0;
+  for (size_t i = 0; i < arity; ++i) {
+    POLARX_ASSIGN_OR_RETURN(Value v, DecodeValue(key, &pos));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+uint64_t HashKey(const EncodedKey& key) {
+  // FNV-1a 64-bit with a splitmix finalizer; stable across platforms so
+  // shard placement is portable, and the finalizer fixes FNV's weak low
+  // bits (shard selection is modular).
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+uint32_t ShardOf(const EncodedKey& key, uint32_t num_shards) {
+  if (num_shards == 0) return 0;
+  return static_cast<uint32_t>(HashKey(key) % num_shards);
+}
+
+}  // namespace polarx

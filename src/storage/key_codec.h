@@ -1,0 +1,36 @@
+// Order-preserving ("memcomparable") key encoding: encoded byte strings
+// compare with memcmp in the same order as the typed values compare with
+// CompareValues. Used for primary keys, secondary-index keys, and hash
+// partitioning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/storage/value.h"
+
+namespace polarx {
+
+/// An encoded key (memcomparable byte string).
+using EncodedKey = std::string;
+
+/// Appends one value to an encoded key.
+void EncodeValue(const Value& v, EncodedKey* out);
+
+/// Encodes a composite key (e.g. a primary key) from values.
+EncodedKey EncodeKey(const Row& values);
+
+/// Decodes the next value from `data` starting at `*pos`; advances `*pos`.
+Result<Value> DecodeValue(const EncodedKey& data, size_t* pos);
+
+/// Decodes a full composite key of `arity` values.
+Result<Row> DecodeKey(const EncodedKey& key, size_t arity);
+
+/// 64-bit hash of an encoded key, used for hash partitioning (§II-B).
+uint64_t HashKey(const EncodedKey& key);
+
+/// Shard index for a key under `num_shards` hash partitions.
+uint32_t ShardOf(const EncodedKey& key, uint32_t num_shards);
+
+}  // namespace polarx

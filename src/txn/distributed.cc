@@ -1,0 +1,160 @@
+#include "src/txn/distributed.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace polarx {
+
+namespace {
+/// Bounded retry loop for reads blocked by PREPARED writers: wait for the
+/// blocker to resolve, then retry the read.
+constexpr int kMaxPreparedWaitRetries = 64;
+}  // namespace
+
+TxnCoordinator::TxnCoordinator(TsScheme scheme, Hlc* cn_hlc, TsoService* tso)
+    : scheme_(scheme), cn_hlc_(cn_hlc), tso_(tso) {
+  assert(scheme_ == TsScheme::kTsoSi ? tso_ != nullptr : cn_hlc_ != nullptr);
+}
+
+Timestamp TxnCoordinator::AcquireSnapshotTs() {
+  if (scheme_ == TsScheme::kTsoSi) {
+    ++stats_.tso_calls;
+    return tso_->Next();
+  }
+  return cn_hlc_->Now();  // §IV step 1: ClockNow, no logical-space cost
+}
+
+DistributedTxn TxnCoordinator::Begin() {
+  DistributedTxn txn;
+  txn.snapshot_ts_ = AcquireSnapshotTs();
+  ++stats_.started;
+  return txn;
+}
+
+TxnId TxnCoordinator::BranchFor(DistributedTxn* txn, TxnEngine* engine) {
+  auto it = txn->branches_.find(engine);
+  if (it != txn->branches_.end()) return it->second;
+  // §IV step 3: shipping snapshot_ts to the participant implicitly performs
+  // ClockUpdate(snapshot_ts) on its node clock.
+  if (scheme_ == TsScheme::kHlcSi) engine->hlc()->Update(txn->snapshot_ts_);
+  TxnId id = engine->Begin(txn->snapshot_ts_);
+  txn->branches_.emplace(engine, id);
+  return id;
+}
+
+Status TxnCoordinator::Read(DistributedTxn* txn, TxnEngine* engine,
+                            TableId table, const EncodedKey& key, Row* out) {
+  TxnId branch = BranchFor(txn, engine);
+  for (int attempt = 0; attempt < kMaxPreparedWaitRetries; ++attempt) {
+    TxnId blocker = kInvalidTxnId;
+    Status s = engine->Read(branch, table, key, out, &blocker);
+    if (!s.IsBusy()) return s;
+    // Prepared-wait (§IV case 2): block until the writer resolves.
+    if (blocker != kInvalidTxnId) engine->WaitResolved(blocker);
+  }
+  return Status::TimedOut("prepared-wait retries exhausted");
+}
+
+Status TxnCoordinator::Scan(
+    DistributedTxn* txn, TxnEngine* engine, TableId table,
+    const EncodedKey& from, const EncodedKey& to,
+    const std::function<bool(const EncodedKey&, const Row&)>& fn) {
+  TxnId branch = BranchFor(txn, engine);
+  for (int attempt = 0; attempt < kMaxPreparedWaitRetries; ++attempt) {
+    TxnId blocker = kInvalidTxnId;
+    Status s = engine->ScanVisible(branch, table, from, to, fn, &blocker);
+    if (!s.IsBusy()) return s;
+    if (blocker != kInvalidTxnId) engine->WaitResolved(blocker);
+  }
+  return Status::TimedOut("prepared-wait retries exhausted");
+}
+
+Status TxnCoordinator::Insert(DistributedTxn* txn, TxnEngine* engine,
+                              TableId table, const Row& row) {
+  return engine->Insert(BranchFor(txn, engine), table, row);
+}
+
+Status TxnCoordinator::Upsert(DistributedTxn* txn, TxnEngine* engine,
+                              TableId table, const Row& row) {
+  return engine->Upsert(BranchFor(txn, engine), table, row);
+}
+
+Status TxnCoordinator::Update(DistributedTxn* txn, TxnEngine* engine,
+                              TableId table, const Row& row) {
+  return engine->Update(BranchFor(txn, engine), table, row);
+}
+
+Status TxnCoordinator::Delete(DistributedTxn* txn, TxnEngine* engine,
+                              TableId table, const EncodedKey& key) {
+  return engine->Delete(BranchFor(txn, engine), table, key);
+}
+
+Status TxnCoordinator::Commit(DistributedTxn* txn) {
+  if (txn->resolved_) return Status::InvalidArgument("txn already resolved");
+  if (txn->branches_.empty()) {
+    txn->resolved_ = true;
+    ++stats_.committed;
+    return Status::Ok();
+  }
+
+  // 1PC fast path: a single participant commits locally without the second
+  // round (its prepare_ts is the commit_ts).
+  if (txn->branches_.size() == 1 && scheme_ == TsScheme::kHlcSi) {
+    auto& [engine, branch] = *txn->branches_.begin();
+    Result<Timestamp> cts = engine->CommitLocal(branch);
+    if (!cts.ok()) {
+      Abort(txn);
+      return cts.status();
+    }
+    txn->commit_ts_ = *cts;
+    cn_hlc_->Update(*cts);
+    txn->resolved_ = true;
+    ++stats_.committed;
+    ++stats_.one_shard_commits;
+    return Status::Ok();
+  }
+
+  // Phase 1: prepare everywhere, collecting prepare timestamps.
+  Timestamp max_prepare_ts = 0;
+  for (auto& [engine, branch] : txn->branches_) {
+    Result<Timestamp> prep = engine->Prepare(branch);
+    if (!prep.ok()) {
+      Abort(txn);
+      return prep.status();
+    }
+    max_prepare_ts = std::max(max_prepare_ts, *prep);
+  }
+
+  // Choose commit_ts.
+  if (scheme_ == TsScheme::kTsoSi) {
+    ++stats_.tso_calls;
+    txn->commit_ts_ = tso_->Next();
+  } else {
+    // §IV step 5: commit_ts = max(prepare_ts); the coordinator updates its
+    // clock ONCE with the max instead of per-participant (optimization 2).
+    txn->commit_ts_ = max_prepare_ts;
+    cn_hlc_->Update(max_prepare_ts);
+  }
+
+  // Phase 2: commit everywhere. Prepared participants must not fail.
+  for (auto& [engine, branch] : txn->branches_) {
+    Status s = engine->Commit(branch, txn->commit_ts_);
+    assert(s.ok() && "commit of a prepared branch must succeed");
+    (void)s;
+  }
+  txn->resolved_ = true;
+  ++stats_.committed;
+  return Status::Ok();
+}
+
+Status TxnCoordinator::Abort(DistributedTxn* txn) {
+  if (txn->resolved_) return Status::InvalidArgument("txn already resolved");
+  for (auto& [engine, branch] : txn->branches_) {
+    engine->Abort(branch);
+  }
+  txn->resolved_ = true;
+  ++stats_.aborted;
+  return Status::Ok();
+}
+
+}  // namespace polarx

@@ -1,0 +1,432 @@
+#include "src/txn/engine.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace polarx {
+
+TxnEngine::TxnEngine(uint32_t engine_id, TableCatalog* catalog, Hlc* hlc,
+                     RedoLog* log, BufferPool* pool,
+                     TxnEngineOptions options)
+    : engine_id_(engine_id),
+      options_(options),
+      catalog_(catalog),
+      hlc_(hlc),
+      log_(log),
+      pool_(pool) {
+  assert(catalog_ != nullptr && hlc_ != nullptr && log_ != nullptr &&
+         pool_ != nullptr);
+}
+
+TxnId TxnEngine::Begin(Timestamp snapshot_ts) {
+  if (snapshot_ts == 0) snapshot_ts = hlc_->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnId id = (static_cast<TxnId>(engine_id_) << 40) |
+             next_txn_.fetch_add(1, std::memory_order_relaxed);
+  auto info = std::make_unique<TxnInfo>();
+  info->id = id;
+  info->snapshot_ts = snapshot_ts;
+  txns_.emplace(id, std::move(info));
+  ++stats_.begun;
+  return id;
+}
+
+TxnInfo* TxnEngine::FindTxnLocked(TxnId txn) {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+const TxnInfo* TxnEngine::FindTxnLocked(TxnId txn) const {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+Result<TxnState> TxnEngine::StateOf(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TxnInfo* info = FindTxnLocked(txn);
+  if (info == nullptr) return Status::NotFound("txn unknown");
+  return info->state;
+}
+
+Result<TxnInfo> TxnEngine::InfoOf(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TxnInfo* info = FindTxnLocked(txn);
+  if (info == nullptr) return Status::NotFound("txn unknown");
+  TxnInfo copy;
+  copy.id = info->id;
+  copy.state = info->state;
+  copy.snapshot_ts = info->snapshot_ts;
+  copy.prepare_ts = info->prepare_ts;
+  copy.commit_ts = info->commit_ts;
+  return copy;
+}
+
+TxnEngine::Visibility TxnEngine::CheckVisibility(const VersionPtr& v,
+                                                 Timestamp snapshot_ts,
+                                                 TxnId reader,
+                                                 TxnId* blocker) const {
+  // Fast path: a stamped commit_ts means the writer committed, regardless of
+  // whether the TxnInfo is still around.
+  Timestamp cts = v->commit_ts.load(std::memory_order_acquire);
+  if (cts != kInvalidTimestamp) {
+    return cts <= snapshot_ts ? Visibility::kVisible : Visibility::kInvisible;
+  }
+  if (v->txn_id == reader) return Visibility::kVisible;  // own write
+  std::lock_guard<std::mutex> lock(mu_);
+  const TxnInfo* writer = FindTxnLocked(v->txn_id);
+  if (writer == nullptr) {
+    // Unstamped version from a forgotten transaction: only possible for an
+    // aborted writer whose versions are being unlinked; treat as invisible.
+    return Visibility::kInvisible;
+  }
+  switch (writer->state) {
+    case TxnState::kCommitted: {
+      Timestamp wcts = v->commit_ts.load(std::memory_order_acquire);
+      return (wcts != kInvalidTimestamp && wcts <= snapshot_ts)
+                 ? Visibility::kVisible
+                 : Visibility::kInvisible;
+    }
+    case TxnState::kAborted:
+      return Visibility::kInvisible;
+    case TxnState::kPrepared:
+      // Under HLC-SI commit_ts >= prepare_ts, so a prepare_ts beyond our
+      // snapshot proves invisibility without waiting (§IV).
+      if (options_.use_prepare_ts_filter && writer->prepare_ts > snapshot_ts) {
+        return Visibility::kInvisible;
+      }
+      if (blocker != nullptr) *blocker = writer->id;
+      return Visibility::kMustWait;
+    case TxnState::kActive:
+      return Visibility::kInvisible;  // §IV case 3
+  }
+  return Visibility::kInvisible;
+}
+
+Status TxnEngine::Read(TxnId txn, TableId table, const EncodedKey& key,
+                       Row* out, TxnId* blocker) {
+  Timestamp snapshot_ts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TxnInfo* info = FindTxnLocked(txn);
+    if (info == nullptr) return Status::NotFound("txn unknown");
+    if (info->state != TxnState::kActive) {
+      return Status::Aborted("txn not active");
+    }
+    snapshot_ts = info->snapshot_ts;
+  }
+  return ReadAtInternal(snapshot_ts, txn, table, key, out, blocker);
+}
+
+Status TxnEngine::ReadAt(Timestamp snapshot_ts, TableId table,
+                         const EncodedKey& key, Row* out, TxnId* blocker) {
+  return ReadAtInternal(snapshot_ts, kInvalidTxnId, table, key, out, blocker);
+}
+
+Status TxnEngine::ReadAtInternal(Timestamp snapshot_ts, TxnId reader,
+                                 TableId table, const EncodedKey& key,
+                                 Row* out, TxnId* blocker) {
+  TableStore* ts = catalog_->FindTable(table);
+  if (ts == nullptr) return Status::NotFound("table unknown");
+  pool_->Touch(MakePageId(table, ts->PageNoFor(key)));
+  for (VersionPtr v = ts->rows().Head(key); v != nullptr; v = v->prev) {
+    switch (CheckVisibility(v, snapshot_ts, reader, blocker)) {
+      case Visibility::kVisible:
+        if (v->deleted) return Status::NotFound("deleted");
+        *out = v->row;
+        return Status::Ok();
+      case Visibility::kMustWait: {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.prepared_waits;
+        return Status::Busy("blocked by prepared txn");
+      }
+      case Visibility::kInvisible:
+        break;  // continue down the chain
+    }
+  }
+  return Status::NotFound("no visible version");
+}
+
+Status TxnEngine::ScanVisible(
+    TxnId txn, TableId table, const EncodedKey& from, const EncodedKey& to,
+    const std::function<bool(const EncodedKey&, const Row&)>& fn,
+    TxnId* blocker) {
+  Timestamp snapshot_ts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TxnInfo* info = FindTxnLocked(txn);
+    if (info == nullptr) return Status::NotFound("txn unknown");
+    snapshot_ts = info->snapshot_ts;
+  }
+  Status result = Status::Ok();
+  TableStore* ts = catalog_->FindTable(table);
+  if (ts == nullptr) return Status::NotFound("table unknown");
+  ts->rows().ScanRange(from, to, [&](const EncodedKey& key,
+                                     const VersionPtr& head) {
+    for (VersionPtr v = head; v != nullptr; v = v->prev) {
+      Visibility vis = CheckVisibility(v, snapshot_ts, txn, blocker);
+      if (vis == Visibility::kMustWait) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.prepared_waits;
+        }
+        result = Status::Busy("blocked by prepared txn");
+        return false;
+      }
+      if (vis == Visibility::kVisible) {
+        if (!v->deleted && !fn(key, v->row)) return false;
+        break;
+      }
+    }
+    return true;
+  });
+  return result;
+}
+
+Status TxnEngine::Write(TxnId txn, TableId table, const EncodedKey& key,
+                        Row row, bool deleted, RedoType redo_type) {
+  TableStore* ts = catalog_->FindTable(table);
+  if (ts == nullptr) return Status::NotFound("table unknown");
+
+  Timestamp snapshot_ts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TxnInfo* info = FindTxnLocked(txn);
+    if (info == nullptr) return Status::NotFound("txn unknown");
+    if (info->state != TxnState::kActive) {
+      return Status::Aborted("txn not active");
+    }
+    snapshot_ts = info->snapshot_ts;
+  }
+
+  // SI write-write conflict check + install, atomic under the table lock.
+  // The engine lock is NOT held here (table locks and the engine lock must
+  // never be waited on simultaneously).
+  auto version = std::make_shared<Version>(txn, deleted, std::move(row));
+  switch (ts->rows().PushChecked(key, version, snapshot_ts, txn)) {
+    case MvccTable::PushResult::kOk:
+      break;
+    case MvccTable::PushResult::kConflictUncommitted: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.conflicts;
+      return Status::Conflict("uncommitted write by another txn");
+    }
+    case MvccTable::PushResult::kConflictNewer: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.conflicts;
+      return Status::Conflict("newer committed version");
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TxnInfo* info = FindTxnLocked(txn);
+    if (info == nullptr) return Status::NotFound("txn vanished");
+    info->writes.push_back(TxnInfo::WriteRef{table, key, version});
+  }
+
+  // Redo: one record per row operation, appended as its own MTR.
+  RedoRecord rec;
+  rec.type = redo_type;
+  rec.txn_id = txn;
+  rec.table_id = table;
+  rec.key = key;
+  if (!deleted) rec.row = version->row;
+  MtrHandle mtr = log_->AppendMtr({rec});
+  pool_->MarkDirty(MakePageId(table, ts->PageNoFor(key)), mtr.start_lsn);
+  return Status::Ok();
+}
+
+Status TxnEngine::Insert(TxnId txn, TableId table, const Row& row) {
+  TableStore* ts = catalog_->FindTable(table);
+  if (ts == nullptr) return Status::NotFound("table unknown");
+  POLARX_RETURN_NOT_OK(ts->schema().ValidateRow(row));
+  EncodedKey key = EncodeKey(ts->schema().ExtractKey(row));
+  // Duplicate-key check under the transaction's snapshot.
+  Row existing;
+  Status read = Read(txn, table, key, &existing);
+  if (read.ok()) return Status::InvalidArgument("duplicate key");
+  if (read.IsBusy()) return read;
+  return Write(txn, table, key, row, /*deleted=*/false, RedoType::kInsert);
+}
+
+Status TxnEngine::Update(TxnId txn, TableId table, const Row& row) {
+  TableStore* ts = catalog_->FindTable(table);
+  if (ts == nullptr) return Status::NotFound("table unknown");
+  POLARX_RETURN_NOT_OK(ts->schema().ValidateRow(row));
+  EncodedKey key = EncodeKey(ts->schema().ExtractKey(row));
+  return Write(txn, table, key, row, /*deleted=*/false, RedoType::kUpdate);
+}
+
+Status TxnEngine::Upsert(TxnId txn, TableId table, const Row& row) {
+  return Update(txn, table, row);
+}
+
+Status TxnEngine::Delete(TxnId txn, TableId table, const EncodedKey& key) {
+  return Write(txn, table, key, Row{}, /*deleted=*/true, RedoType::kDelete);
+}
+
+Result<Timestamp> TxnEngine::Prepare(TxnId txn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  TxnInfo* info = FindTxnLocked(txn);
+  if (info == nullptr) return Status::NotFound("txn unknown");
+  if (info->state != TxnState::kActive) {
+    return Status::Aborted("txn not active at prepare");
+  }
+  // Conflict validation already happened write-by-write; our uncommitted
+  // versions are still heads because later writers would have conflicted.
+  info->state = TxnState::kPrepared;
+  info->prepare_ts = hlc_->Advance();
+
+  RedoRecord rec;
+  rec.type = RedoType::kTxnPrepare;
+  rec.txn_id = txn;
+  rec.ts = info->prepare_ts;
+  MtrHandle mtr = log_->AppendMtr({rec});
+  // Redo must be durable locally before the participant ACKs prepare (§III:
+  // flushed to PolarFS before commit).
+  log_->MarkFlushed(mtr.end_lsn);
+  return info->prepare_ts;
+}
+
+Status TxnEngine::ResolveLocked(std::unique_lock<std::mutex>& lock,
+                                TxnInfo* info, bool commit,
+                                Timestamp commit_ts) {
+  if (commit) {
+    // Stamp versions before flipping state so readers that see the state
+    // change also see commit timestamps (stamp is release, read is acquire).
+    for (auto& w : info->writes) {
+      w.version->commit_ts.store(commit_ts, std::memory_order_release);
+    }
+    info->commit_ts = commit_ts;
+    info->state = TxnState::kCommitted;
+    ++stats_.committed;
+  } else {
+    info->state = TxnState::kAborted;
+    ++stats_.aborted;
+  }
+
+  TxnId id = info->id;
+  std::vector<std::function<void()>> to_fire;
+  auto wit = waiters_.find(id);
+  if (wit != waiters_.end()) {
+    to_fire = std::move(wit->second);
+    waiters_.erase(wit);
+  }
+  // Secondary index maintenance and abort undo touch table locks; do them
+  // outside the engine lock.
+  std::vector<TxnInfo::WriteRef> writes = info->writes;
+  if (!commit) info->writes.clear();
+  lock.unlock();
+
+  if (commit) {
+    for (auto& w : writes) {
+      TableStore* ts = catalog_->FindTable(w.table);
+      if (ts == nullptr) continue;
+      for (auto& idx : ts->indexes()) {
+        if (!w.version->deleted) {
+          idx->Insert(idx->KeyFor(w.version->row), w.key);
+        }
+      }
+    }
+  } else {
+    // Remove in reverse install order so repeated writes unwind correctly.
+    for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
+      TableStore* ts = catalog_->FindTable(it->table);
+      if (ts != nullptr) ts->rows().RemoveUncommitted(it->key, id);
+    }
+  }
+
+  resolved_cv_.notify_all();
+  for (auto& fn : to_fire) fn();
+  return Status::Ok();
+}
+
+Status TxnEngine::Commit(TxnId txn, Timestamp commit_ts) {
+  hlc_->Update(commit_ts);  // §IV step 7: participants adopt commit_ts
+  std::unique_lock<std::mutex> lock(mu_);
+  TxnInfo* info = FindTxnLocked(txn);
+  if (info == nullptr) return Status::NotFound("txn unknown");
+  if (info->state == TxnState::kCommitted) return Status::Ok();  // idempotent
+  if (info->state == TxnState::kAborted) {
+    return Status::Aborted("txn already aborted");
+  }
+
+  RedoRecord rec;
+  rec.type = RedoType::kTxnCommit;
+  rec.txn_id = txn;
+  rec.ts = commit_ts;
+  MtrHandle mtr = log_->AppendMtr({rec});
+  log_->MarkFlushed(mtr.end_lsn);
+  return ResolveLocked(lock, info, /*commit=*/true, commit_ts);
+}
+
+Result<Timestamp> TxnEngine::CommitLocal(TxnId txn) {
+  POLARX_ASSIGN_OR_RETURN(Timestamp prepare_ts, Prepare(txn));
+  // Single participant: commit_ts = max over one prepare_ts.
+  POLARX_RETURN_NOT_OK(Commit(txn, prepare_ts));
+  return prepare_ts;
+}
+
+Status TxnEngine::Abort(TxnId txn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  TxnInfo* info = FindTxnLocked(txn);
+  if (info == nullptr) return Status::NotFound("txn unknown");
+  if (info->state == TxnState::kAborted) return Status::Ok();
+  if (info->state == TxnState::kCommitted) {
+    return Status::InvalidArgument("cannot abort committed txn");
+  }
+  RedoRecord rec;
+  rec.type = RedoType::kTxnAbort;
+  rec.txn_id = txn;
+  log_->AppendMtr({rec});
+  return ResolveLocked(lock, info, /*commit=*/false, 0);
+}
+
+void TxnEngine::WaitResolved(TxnId txn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  resolved_cv_.wait(lock, [&] {
+    const TxnInfo* info = FindTxnLocked(txn);
+    return info == nullptr || info->state == TxnState::kCommitted ||
+           info->state == TxnState::kAborted;
+  });
+}
+
+void TxnEngine::OnResolved(TxnId txn, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const TxnInfo* info = FindTxnLocked(txn);
+    if (info != nullptr && info->state != TxnState::kCommitted &&
+        info->state != TxnState::kAborted) {
+      waiters_[txn].push_back(std::move(fn));
+      return;
+    }
+  }
+  fn();  // already resolved (or unknown): fire immediately
+}
+
+size_t TxnEngine::Vacuum(Timestamp before_ts) {
+  size_t freed = 0;
+  for (TableStore* table : catalog_->AllTables()) {
+    freed += table->rows().Vacuum(before_ts);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = txns_.begin(); it != txns_.end();) {
+    const TxnInfo& info = *it->second;
+    bool resolved = info.state == TxnState::kCommitted ||
+                    info.state == TxnState::kAborted;
+    if (resolved && info.commit_ts < before_ts) {
+      it = txns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+TxnEngineStats TxnEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace polarx

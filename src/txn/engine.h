@@ -1,0 +1,195 @@
+// The per-DN transaction engine: snapshot-isolation MVCC over TableCatalog,
+// with the ACTIVE -> PREPARED -> COMMITTED/ABORTED lifecycle of §IV.
+//
+// Visibility (the paper's three cases): when a reader with snapshot_ts
+// encounters a version written by transaction T1,
+//   1. T1 COMMITTED: the version is visible iff T1.commit_ts <= snapshot_ts;
+//   2. T1 PREPARED with prepare_ts <= snapshot_ts: the reader must wait for
+//      T1 to finish (commit_ts is still undetermined). If prepare_ts >
+//      snapshot_ts then commit_ts >= prepare_ts > snapshot_ts, so the
+//      version is safely invisible without waiting;
+//   3. T1 ACTIVE: invisible (proved in §IV: T1.commit_ts will exceed
+//      snapshot_ts).
+//
+// The engine is synchronous: reads blocked by a PREPARED writer return
+// Status::Busy plus the blocking TxnId; callers either retry after
+// WaitResolved() (thread-based users) or subscribe via OnResolved()
+// (simulation actors).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/clock/hlc.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/redo.h"
+#include "src/storage/table.h"
+
+namespace polarx {
+
+enum class TxnState : uint8_t { kActive, kPrepared, kCommitted, kAborted };
+
+/// Engine-side record of one transaction.
+struct TxnInfo {
+  TxnId id = kInvalidTxnId;
+  TxnState state = TxnState::kActive;
+  Timestamp snapshot_ts = 0;
+  Timestamp prepare_ts = 0;
+  Timestamp commit_ts = 0;
+  /// Writes installed by this transaction, for commit stamping / abort undo.
+  struct WriteRef {
+    TableId table;
+    EncodedKey key;
+    VersionPtr version;
+  };
+  std::vector<WriteRef> writes;
+};
+
+/// Statistics for benchmarks and tests.
+struct TxnEngineStats {
+  uint64_t begun = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t conflicts = 0;
+  uint64_t prepared_waits = 0;
+};
+
+/// Engine behaviour switches.
+struct TxnEngineOptions {
+  /// HLC-SI guarantees commit_ts >= prepare_ts, so a PREPARED writer whose
+  /// prepare_ts exceeds the reader's snapshot is provably invisible and the
+  /// reader need not wait (§IV). Under TSO-SI commit timestamps come from
+  /// the oracle and that inequality does not hold, so the filter must be
+  /// disabled (Percolator-style: wait on any PREPARED writer).
+  bool use_prepare_ts_filter = true;
+};
+
+class TxnEngine {
+ public:
+  /// `engine_id` namespaces TxnIds so ids from different DNs never collide.
+  /// `hlc` is the node clock (used for local commits); `log`/`pool` receive
+  /// redo records and dirty-page marks (either may be shared with other
+  /// engines on the same node).
+  TxnEngine(uint32_t engine_id, TableCatalog* catalog, Hlc* hlc,
+            RedoLog* log, BufferPool* pool, TxnEngineOptions options = {});
+
+  TableCatalog* catalog() { return catalog_; }
+  Hlc* hlc() { return hlc_; }
+  RedoLog* redo_log() { return log_; }
+
+  // ---- lifecycle ----
+
+  /// Starts a transaction reading at `snapshot_ts` (from ClockNow on the
+  /// coordinator for distributed transactions, or this node's clock for
+  /// local ones; pass 0 to take a local snapshot).
+  TxnId Begin(Timestamp snapshot_ts = 0);
+
+  /// First 2PC phase: validates and transitions to PREPARED, obtaining
+  /// prepare_ts from ClockAdvance(). On success also durably logs the
+  /// prepare record.
+  Result<Timestamp> Prepare(TxnId txn);
+
+  /// Second 2PC phase: stamps commit_ts (the coordinator's max prepare_ts)
+  /// onto all written versions, logs the commit, wakes waiters, and calls
+  /// ClockUpdate(commit_ts) on the node clock.
+  Status Commit(TxnId txn, Timestamp commit_ts);
+
+  /// Local (single-shard) commit: Prepare + Commit with this node's clock.
+  Result<Timestamp> CommitLocal(TxnId txn);
+
+  Status Abort(TxnId txn);
+
+  /// Looks up transaction state (kNotFound after GC).
+  Result<TxnState> StateOf(TxnId txn) const;
+  Result<TxnInfo> InfoOf(TxnId txn) const;
+
+  // ---- reads ----
+
+  /// Point read under the transaction's snapshot. Returns NotFound if no
+  /// visible version exists, Busy (with *blocker set) if a PREPARED writer
+  /// must be waited for.
+  Status Read(TxnId txn, TableId table, const EncodedKey& key, Row* out,
+              TxnId* blocker = nullptr);
+
+  /// Range scan of visible rows over [from, to) (empty to = unbounded).
+  /// Returns Busy if any row needs a prepared-wait.
+  Status ScanVisible(TxnId txn, TableId table, const EncodedKey& from,
+                     const EncodedKey& to,
+                     const std::function<bool(const EncodedKey&, const Row&)>&
+                         fn,
+                     TxnId* blocker = nullptr);
+
+  /// Snapshot read without a transaction (read-only autocommit).
+  Status ReadAt(Timestamp snapshot_ts, TableId table, const EncodedKey& key,
+                Row* out, TxnId* blocker = nullptr);
+
+  // ---- writes ----
+
+  Status Insert(TxnId txn, TableId table, const Row& row);
+  Status Update(TxnId txn, TableId table, const Row& row);
+  /// Inserts or updates without existence check (sysbench-style upsert).
+  Status Upsert(TxnId txn, TableId table, const Row& row);
+  Status Delete(TxnId txn, TableId table, const EncodedKey& key);
+
+  // ---- waiting ----
+
+  /// Blocks the calling thread until `txn` is committed or aborted.
+  void WaitResolved(TxnId txn);
+
+  /// Registers a callback fired when `txn` resolves (or immediately if it
+  /// already has). Used by simulation actors instead of blocking.
+  void OnResolved(TxnId txn, std::function<void()> fn);
+
+  // ---- maintenance ----
+
+  /// Removes versions invisible to any snapshot >= `before_ts` and forgets
+  /// resolved transactions older than it.
+  size_t Vacuum(Timestamp before_ts);
+
+  TxnEngineStats stats() const;
+
+ private:
+  enum class Visibility { kVisible, kInvisible, kMustWait };
+
+  /// Classifies one version against a snapshot; fills *blocker on kMustWait.
+  Visibility CheckVisibility(const VersionPtr& v, Timestamp snapshot_ts,
+                             TxnId reader, TxnId* blocker) const;
+
+  Status ReadAtInternal(Timestamp snapshot_ts, TxnId reader, TableId table,
+                        const EncodedKey& key, Row* out, TxnId* blocker);
+
+  /// Shared write path: installs an uncommitted version after SI
+  /// first-committer-wins conflict checks.
+  Status Write(TxnId txn, TableId table, const EncodedKey& key, Row row,
+               bool deleted, RedoType redo_type);
+
+  Status ResolveLocked(std::unique_lock<std::mutex>& lock, TxnInfo* info,
+                       bool commit, Timestamp commit_ts);
+
+  TxnInfo* FindTxnLocked(TxnId txn);
+  const TxnInfo* FindTxnLocked(TxnId txn) const;
+
+  const uint32_t engine_id_;
+  const TxnEngineOptions options_;
+  TableCatalog* catalog_;
+  Hlc* hlc_;
+  RedoLog* log_;
+  BufferPool* pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable resolved_cv_;
+  std::atomic<uint64_t> next_txn_{1};
+  std::unordered_map<TxnId, std::unique_ptr<TxnInfo>> txns_;
+  std::unordered_map<TxnId, std::vector<std::function<void()>>> waiters_;
+  TxnEngineStats stats_;
+};
+
+}  // namespace polarx

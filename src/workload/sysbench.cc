@@ -1,0 +1,58 @@
+#include "src/workload/sysbench.h"
+
+namespace polarx {
+
+Schema Sysbench::TableSchema() {
+  return Schema({{"id", ValueType::kInt64, false},
+                 {"k", ValueType::kInt64, false},
+                 {"c", ValueType::kString, false},
+                 {"pad", ValueType::kString, false}},
+                {0});
+}
+
+Row Sysbench::MakeRow(int64_t id, Rng* rng) {
+  return {id, int64_t(rng->Uniform(1 << 20)), rng->AlphaString(60),
+          rng->AlphaString(40)};
+}
+
+SysbenchTxn Sysbench::NextTxn(Rng* rng) const {
+  SysbenchTxn txn;
+  auto key = [&] {
+    return int64_t(1 + rng->Uniform(config_.table_size));
+  };
+  auto add_reads = [&] {
+    for (int i = 0; i < config_.point_selects; ++i) {
+      txn.ops.push_back({SysbenchOp::Type::kPointRead, key(), 0});
+    }
+    for (int i = 0; i < config_.range_selects; ++i) {
+      txn.ops.push_back(
+          {SysbenchOp::Type::kRangeRead, key(), config_.range_size});
+    }
+  };
+  auto add_writes = [&] {
+    txn.read_only = false;
+    txn.ops.push_back({SysbenchOp::Type::kUpdateIndexed, key(), 0});
+    txn.ops.push_back({SysbenchOp::Type::kUpdateNonIndexed, key(), 0});
+    int64_t dk = key();
+    txn.ops.push_back({SysbenchOp::Type::kDelete, dk, 0});
+    txn.ops.push_back({SysbenchOp::Type::kInsert, dk, 0});
+  };
+  switch (config_.mode) {
+    case SysbenchMode::kPointSelect:
+      txn.ops.push_back({SysbenchOp::Type::kPointRead, key(), 0});
+      break;
+    case SysbenchMode::kReadOnly:
+      add_reads();
+      break;
+    case SysbenchMode::kWriteOnly:
+      add_writes();
+      break;
+    case SysbenchMode::kReadWrite:
+      add_reads();
+      add_writes();
+      break;
+  }
+  return txn;
+}
+
+}  // namespace polarx

@@ -1,0 +1,72 @@
+// Sysbench-style OLTP workload generator (§VII-A / Fig. 7 and §VII-B /
+// Fig. 8 background load). Transactions are generated as abstract operation
+// lists so the same generator drives both the synchronous coordinator
+// (integration tests) and the discrete-event CN/DN actors (bench E1):
+//   - oltp_point_select: one point read;
+//   - oltp_read_only:    10 point reads + 4 range reads of 100 rows;
+//   - oltp_write_only:   2 index/non-index updates + delete + insert;
+//   - oltp_read_write:   the reads of read_only plus the writes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/storage/value.h"
+
+namespace polarx {
+
+enum class SysbenchMode {
+  kPointSelect,
+  kReadOnly,
+  kWriteOnly,
+  kReadWrite,
+};
+
+struct SysbenchOp {
+  enum class Type {
+    kPointRead,
+    kRangeRead,
+    kUpdateIndexed,     // update the secondary-key column
+    kUpdateNonIndexed,  // update the pad column
+    kDelete,
+    kInsert,
+  };
+  Type type;
+  int64_t key = 0;
+  int range_len = 0;
+};
+
+struct SysbenchTxn {
+  std::vector<SysbenchOp> ops;
+  bool read_only = true;
+};
+
+struct SysbenchConfig {
+  SysbenchMode mode = SysbenchMode::kReadWrite;
+  uint64_t table_size = 100000;
+  int point_selects = 10;
+  int range_selects = 4;
+  int range_size = 100;
+};
+
+class Sysbench {
+ public:
+  explicit Sysbench(SysbenchConfig config) : config_(config) {}
+
+  /// Schema of the sbtest table: (id BIGINT PK, k BIGINT, c CHAR, pad CHAR).
+  static Schema TableSchema();
+  /// A generated row for key `id`.
+  static Row MakeRow(int64_t id, Rng* rng);
+
+  /// Next transaction; keys drawn uniformly (the paper's setting: "data
+  /// access follows a random distribution").
+  SysbenchTxn NextTxn(Rng* rng) const;
+
+  const SysbenchConfig& config() const { return config_; }
+
+ private:
+  SysbenchConfig config_;
+};
+
+}  // namespace polarx

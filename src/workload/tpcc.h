@@ -1,0 +1,109 @@
+// TPC-C-lite (§VII-C / Fig. 9): the five standard transaction profiles
+// (NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%, StockLevel 4%)
+// against the real transaction engine. Scaled-down cardinalities; the
+// measured quantity in E3 is tpmC *stability* under concurrent analytics,
+// which depends on resource isolation rather than warehouse count.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/txn/engine.h"
+
+namespace polarx {
+
+struct TpccConfig {
+  int warehouses = 4;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 300;
+  int items = 1000;
+};
+
+enum class TpccTxnType : int {
+  kNewOrder = 0,
+  kPayment = 1,
+  kOrderStatus = 2,
+  kDelivery = 3,
+  kStockLevel = 4,
+};
+
+struct TpccStats {
+  uint64_t new_orders = 0;  // committed NewOrders: the tpmC numerator
+  uint64_t payments = 0;
+  uint64_t order_statuses = 0;
+  uint64_t deliveries = 0;
+  uint64_t stock_levels = 0;
+  uint64_t aborts = 0;
+};
+
+/// The TPC-C database and transaction implementations over one TxnEngine
+/// (the RW node).
+class TpccDb {
+ public:
+  TpccDb(TxnEngine* engine, TpccConfig config = TpccConfig{});
+
+  /// Creates tables and loads initial rows. Call once.
+  Status Load(Rng* rng);
+
+  /// Runs one transaction of the standard mix; returns the type executed.
+  /// SI conflicts abort and count in stats().aborts.
+  TpccTxnType RunNext(Rng* rng);
+
+  /// Individual profiles (public for targeted tests).
+  Status NewOrder(Rng* rng);
+  Status Payment(Rng* rng);
+  Status OrderStatus(Rng* rng);
+  Status Delivery(Rng* rng);
+  Status StockLevel(Rng* rng);
+
+  const TpccStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TpccStats{}; }
+  const TpccConfig& config() const { return config_; }
+
+  /// Consistency check: sum of district next-order-ids minus initial equals
+  /// committed NewOrders (invariant used by tests).
+  Result<int64_t> TotalOrdersPlaced();
+
+  // Table ids (exposed for analytics over the same data).
+  TableId warehouse_table() const { return kWarehouse; }
+  TableId district_table() const { return kDistrict; }
+  TableId customer_table() const { return kCustomer; }
+  TableId item_table() const { return kItem; }
+  TableId stock_table() const { return kStock; }
+  TableId orders_table() const { return kOrders; }
+  TableId order_line_table() const { return kOrderLine; }
+  TableId new_order_table() const { return kNewOrder; }
+  TableId history_table() const { return kHistory; }
+
+ private:
+  static constexpr TableId kWarehouse = 201;
+  static constexpr TableId kDistrict = 202;
+  static constexpr TableId kCustomer = 203;
+  static constexpr TableId kItem = 204;
+  static constexpr TableId kStock = 205;
+  static constexpr TableId kOrders = 206;
+  static constexpr TableId kOrderLine = 207;
+  static constexpr TableId kNewOrder = 208;
+  static constexpr TableId kHistory = 209;
+
+  int64_t RandWarehouse(Rng* rng) const {
+    return 1 + int64_t(rng->Uniform(config_.warehouses));
+  }
+  int64_t RandDistrict(Rng* rng) const {
+    return 1 + int64_t(rng->Uniform(config_.districts_per_warehouse));
+  }
+  int64_t RandCustomer(Rng* rng) const {
+    return 1 + int64_t(rng->Uniform(config_.customers_per_district));
+  }
+  int64_t RandItem(Rng* rng) const {
+    return 1 + int64_t(rng->Uniform(config_.items));
+  }
+
+  TxnEngine* engine_;
+  TpccConfig config_;
+  TpccStats stats_;
+  int64_t history_seq_ = 1;
+};
+
+}  // namespace polarx

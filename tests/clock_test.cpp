@@ -1,0 +1,259 @@
+// Unit and property tests for the HLC and TSO timestamp services (§IV).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/clock/hlc.h"
+#include "src/clock/tso.h"
+
+namespace polarx {
+namespace {
+
+/// A manually controlled physical clock for deterministic tests.
+struct FakeClock {
+  uint64_t ms = 1000;
+  PhysicalClockMs Fn() {
+    return [this] { return ms; };
+  }
+};
+
+TEST(HlcLayoutTest, PackUnpackRoundTrip) {
+  Timestamp ts = hlc_layout::Pack(123456789, 42);
+  EXPECT_EQ(hlc_layout::Pt(ts), 123456789u);
+  EXPECT_EQ(hlc_layout::Lc(ts), 42u);
+}
+
+TEST(HlcLayoutTest, PtDominatesOrdering) {
+  // Any timestamp with a larger pt compares greater regardless of lc.
+  Timestamp a = hlc_layout::Pack(100, 65535);
+  Timestamp b = hlc_layout::Pack(101, 0);
+  EXPECT_LT(a, b);
+}
+
+TEST(HlcLayoutTest, LcOverflowCarriesIntoPt) {
+  Timestamp a = hlc_layout::Pack(100, 65535);
+  Timestamp next = a + 1;
+  EXPECT_EQ(hlc_layout::Pt(next), 101u);
+  EXPECT_EQ(hlc_layout::Lc(next), 0u);
+}
+
+TEST(HlcTest, AdvanceIsStrictlyIncreasing) {
+  FakeClock clock;
+  Hlc hlc(clock.Fn());
+  Timestamp prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp t = hlc.Advance();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(HlcTest, AdvanceAdoptsPhysicalClock) {
+  FakeClock clock;
+  Hlc hlc(clock.Fn());
+  Timestamp t1 = hlc.Advance();
+  EXPECT_EQ(hlc_layout::Pt(t1), 1000u);
+  clock.ms = 2000;
+  Timestamp t2 = hlc.Advance();
+  EXPECT_EQ(hlc_layout::Pt(t2), 2000u);
+  EXPECT_EQ(hlc_layout::Lc(t2), 0u);
+}
+
+TEST(HlcTest, NowDoesNotConsumeLogicalSpace) {
+  FakeClock clock;
+  Hlc hlc(clock.Fn());
+  Timestamp t1 = hlc.Advance();  // adopts pt=1000, lc=0: not an lc increment
+  // With a stalled physical clock, repeated Now() must not move the clock.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(hlc.Now(), t1);
+  EXPECT_EQ(hlc.lc_increments(), 0u);
+  Timestamp t2 = hlc.Advance();  // pt stalled => lc increment
+  EXPECT_EQ(t2, t1 + 1);
+  EXPECT_EQ(hlc.lc_increments(), 1u);
+}
+
+TEST(HlcTest, NowAdoptsFreshPhysicalClock) {
+  FakeClock clock;
+  Hlc hlc(clock.Fn());
+  hlc.Advance();
+  clock.ms = 5000;
+  Timestamp t = hlc.Now();
+  EXPECT_EQ(hlc_layout::Pt(t), 5000u);
+}
+
+TEST(HlcTest, UpdateAdoptsHigherTimestamp) {
+  FakeClock clock;
+  Hlc hlc(clock.Fn());
+  Timestamp incoming = hlc_layout::Pack(9000, 7);
+  Timestamp after = hlc.Update(incoming);
+  EXPECT_EQ(after, incoming);
+  EXPECT_GE(hlc.Now(), incoming);
+}
+
+TEST(HlcTest, UpdateIgnoresLowerTimestamp) {
+  FakeClock clock;
+  clock.ms = 9000;
+  Hlc hlc(clock.Fn());
+  Timestamp t1 = hlc.Advance();
+  Timestamp after = hlc.Update(hlc_layout::Pack(100, 0));
+  EXPECT_EQ(after, t1);
+}
+
+TEST(HlcTest, UpdateDoesNotIncrementLcByDefault) {
+  FakeClock clock;
+  Hlc hlc(clock.Fn());
+  Timestamp incoming = hlc_layout::Pack(9000, 7);
+  hlc.Update(incoming);
+  EXPECT_EQ(hlc.Peek(), incoming);  // exactly equal, not incoming+1
+  EXPECT_EQ(hlc.lc_increments(), 0u);
+}
+
+TEST(HlcTest, OriginalVariantIncrementsOnUpdate) {
+  FakeClock clock;
+  HlcOptions opts;
+  opts.increment_on_update = true;
+  Hlc hlc(clock.Fn(), opts);
+  Timestamp incoming = hlc_layout::Pack(9000, 7);
+  hlc.Update(incoming);
+  EXPECT_EQ(hlc.Peek(), incoming + 1);
+}
+
+TEST(HlcTest, CausalityAcrossNodes) {
+  // Event on node A happens-before event on node B after message transfer:
+  // B's next timestamp must exceed A's send timestamp even if B's physical
+  // clock is behind.
+  FakeClock clock_a, clock_b;
+  clock_a.ms = 5000;
+  clock_b.ms = 1000;  // B's clock lags by 4 seconds
+  Hlc a(clock_a.Fn()), b(clock_b.Fn());
+  Timestamp send_ts = a.Advance();
+  b.Update(send_ts);
+  Timestamp recv_ts = b.Advance();
+  EXPECT_GT(recv_ts, send_ts);
+}
+
+TEST(HlcTest, BoundedDriftFromPhysicalClock) {
+  // The HLC pt component never exceeds the max physical clock seen through
+  // Advance/Now (property from the paper: hlc stays close to physical time).
+  FakeClock clock;
+  Hlc hlc(clock.Fn());
+  for (int i = 0; i < 100; ++i) {
+    clock.ms += 10;
+    Timestamp t = hlc.Advance();
+    EXPECT_EQ(hlc_layout::Pt(t), clock.ms);
+  }
+}
+
+TEST(HlcTest, ConcurrentAdvanceProducesUniqueTimestamps) {
+  FakeClock clock;
+  Hlc hlc(clock.Fn());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::vector<Timestamp>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hlc, &seen, t] {
+      seen[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) seen[t].push_back(hlc.Advance());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<Timestamp> all;
+  for (auto& v : seen) {
+    // Per-thread monotonicity.
+    for (size_t i = 1; i < v.size(); ++i) EXPECT_GT(v[i], v[i - 1]);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate timestamps issued";
+}
+
+TEST(TsoTest, StrictlyIncreasing) {
+  FakeClock clock;
+  TsoService tso(clock.Fn());
+  Timestamp prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp t = tso.Next();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TsoTest, BatchReservesRange) {
+  FakeClock clock;
+  TsoService tso(clock.Fn());
+  Timestamp first = tso.NextBatch(100);
+  Timestamp next = tso.Next();
+  EXPECT_GE(next, first + 100);
+}
+
+TEST(TsoTest, TracksPhysicalClock) {
+  FakeClock clock;
+  TsoService tso(clock.Fn());
+  tso.Next();
+  clock.ms = 77777;
+  Timestamp t = tso.Next();
+  EXPECT_EQ(hlc_layout::Pt(t), 77777u);
+}
+
+TEST(TsoTest, ConcurrentClientsGetUniqueTimestamps) {
+  FakeClock clock;
+  TsoService tso(clock.Fn());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<Timestamp>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tso, &seen, t] {
+      for (int i = 0; i < kPerThread; ++i) seen[t].push_back(tso.Next());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<Timestamp> all;
+  for (auto& v : seen) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(TsoTest, CountsRequests) {
+  FakeClock clock;
+  TsoService tso(clock.Fn());
+  for (int i = 0; i < 10; ++i) tso.Next();
+  EXPECT_EQ(tso.requests_served(), 10u);
+}
+
+// Parameterized property sweep: for several interleaving patterns of two
+// HLCs exchanging messages, causality (send ts < next local ts at receiver)
+// always holds.
+class HlcCausalitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HlcCausalitySweep, MessageChainsPreserveHappensBefore) {
+  const int hops = GetParam();
+  FakeClock clocks[4];
+  clocks[0].ms = 1000;
+  clocks[1].ms = 900;
+  clocks[2].ms = 1100;
+  clocks[3].ms = 500;
+  std::vector<std::unique_ptr<Hlc>> nodes;
+  for (auto& c : clocks) nodes.push_back(std::make_unique<Hlc>(c.Fn()));
+
+  Timestamp prev = nodes[0]->Advance();
+  int at = 0;
+  for (int i = 0; i < hops; ++i) {
+    int next = (at + 1 + i) % 4;
+    nodes[next]->Update(prev);
+    Timestamp t = nodes[next]->Advance();
+    EXPECT_GT(t, prev) << "hop " << i;
+    prev = t;
+    at = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hops, HlcCausalitySweep,
+                         ::testing::Values(1, 2, 5, 10, 50, 200));
+
+}  // namespace
+}  // namespace polarx

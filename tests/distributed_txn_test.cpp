@@ -1,0 +1,373 @@
+// Tests for the distributed 2PC coordinator under HLC-SI and TSO-SI:
+// atomicity across shards, snapshot consistency, the §IV visibility proof
+// scenario, and randomized multi-shard SI invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "src/clock/hlc.h"
+#include "src/clock/tso.h"
+#include "src/common/rng.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/key_codec.h"
+#include "src/txn/distributed.h"
+#include "src/txn/engine.h"
+
+namespace polarx {
+namespace {
+
+constexpr TableId kTable = 1;
+
+/// A mini-cluster: N shard engines, each with its own (skewable) physical
+/// clock, plus a CN clock and a TSO.
+struct Cluster {
+  uint64_t cn_ms = 1000;
+  std::vector<uint64_t> dn_ms;
+  Hlc cn_hlc;
+  TsoService tso;
+  struct Shard {
+    TableCatalog catalog;
+    std::unique_ptr<Hlc> hlc;
+    RedoLog log;
+    CountingPageStore store;
+    std::unique_ptr<BufferPool> pool;
+    std::unique_ptr<TxnEngine> engine;
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+
+  explicit Cluster(size_t n, TsScheme scheme = TsScheme::kHlcSi,
+                   std::vector<uint64_t> skews = {})
+      : cn_hlc([this] { return cn_ms; }), tso([this] { return cn_ms; }) {
+    dn_ms.resize(n, 1000);
+    for (size_t i = 0; i < n; ++i) {
+      if (i < skews.size()) dn_ms[i] = skews[i];
+      auto shard = std::make_unique<Shard>();
+      shard->hlc = std::make_unique<Hlc>([this, i] { return dn_ms[i]; });
+      shard->pool = std::make_unique<BufferPool>(&shard->store);
+      TxnEngineOptions opts;
+      opts.use_prepare_ts_filter = (scheme == TsScheme::kHlcSi);
+      shard->engine = std::make_unique<TxnEngine>(
+          static_cast<uint32_t>(i + 1), &shard->catalog, shard->hlc.get(),
+          &shard->log, shard->pool.get(), opts);
+      Schema schema({{"id", ValueType::kInt64, false},
+                     {"val", ValueType::kInt64, false}},
+                    {0});
+      shard->catalog.CreateTable(kTable, "t", schema, 0);
+      shards.push_back(std::move(shard));
+    }
+  }
+
+  TxnEngine* engine(size_t i) { return shards[i]->engine.get(); }
+
+  void TickAll(uint64_t ms = 1) {
+    cn_ms += ms;
+    for (auto& t : dn_ms) t += ms;
+  }
+};
+
+class SchemeTest : public ::testing::TestWithParam<TsScheme> {
+ protected:
+  TsScheme scheme() const { return GetParam(); }
+};
+
+TEST_P(SchemeTest, CrossShardCommitIsAtomic) {
+  Cluster c(3, scheme());
+  TxnCoordinator coord(scheme(), &c.cn_hlc, &c.tso);
+  DistributedTxn txn = coord.Begin();
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(coord
+                    .Insert(&txn, c.engine(i), kTable,
+                            {int64_t(i), int64_t(100 + i)})
+                    .ok());
+  }
+  ASSERT_TRUE(coord.Commit(&txn).ok());
+  EXPECT_GT(txn.commit_ts(), 0u);
+
+  c.TickAll();
+  DistributedTxn reader = coord.Begin();
+  for (size_t i = 0; i < 3; ++i) {
+    Row row;
+    ASSERT_TRUE(
+        coord.Read(&reader, c.engine(i), kTable, EncodeKey({int64_t(i)}),
+                   &row)
+            .ok());
+    EXPECT_EQ(std::get<int64_t>(row[1]), int64_t(100 + i));
+  }
+  ASSERT_TRUE(coord.Commit(&reader).ok());
+}
+
+TEST_P(SchemeTest, AbortRollsBackAllShards) {
+  Cluster c(2, scheme());
+  TxnCoordinator coord(scheme(), &c.cn_hlc, &c.tso);
+  DistributedTxn txn = coord.Begin();
+  ASSERT_TRUE(coord.Insert(&txn, c.engine(0), kTable, {int64_t{1}, int64_t{1}}).ok());
+  ASSERT_TRUE(coord.Insert(&txn, c.engine(1), kTable, {int64_t{2}, int64_t{2}}).ok());
+  ASSERT_TRUE(coord.Abort(&txn).ok());
+
+  c.TickAll();
+  DistributedTxn reader = coord.Begin();
+  Row row;
+  EXPECT_TRUE(coord.Read(&reader, c.engine(0), kTable, EncodeKey({int64_t{1}}), &row)
+                  .IsNotFound());
+  EXPECT_TRUE(coord.Read(&reader, c.engine(1), kTable, EncodeKey({int64_t{2}}), &row)
+                  .IsNotFound());
+}
+
+TEST_P(SchemeTest, PrepareConflictAbortsEverywhere) {
+  Cluster c(2, scheme());
+  TxnCoordinator coord(scheme(), &c.cn_hlc, &c.tso);
+  // t1 writes shard0 key 1; t2 writes shard1 key 2 then conflicts on shard0.
+  DistributedTxn t1 = coord.Begin();
+  ASSERT_TRUE(coord.Upsert(&t1, c.engine(0), kTable, {int64_t{1}, int64_t{10}}).ok());
+  DistributedTxn t2 = coord.Begin();
+  ASSERT_TRUE(coord.Upsert(&t2, c.engine(1), kTable, {int64_t{2}, int64_t{20}}).ok());
+  EXPECT_TRUE(coord.Upsert(&t2, c.engine(0), kTable, {int64_t{1}, int64_t{99}})
+                  .IsConflict());
+  ASSERT_TRUE(coord.Abort(&t2).ok());
+  ASSERT_TRUE(coord.Commit(&t1).ok());
+
+  c.TickAll();
+  DistributedTxn reader = coord.Begin();
+  Row row;
+  ASSERT_TRUE(
+      coord.Read(&reader, c.engine(0), kTable, EncodeKey({int64_t{1}}), &row).ok());
+  EXPECT_EQ(std::get<int64_t>(row[1]), 10);
+  EXPECT_TRUE(coord.Read(&reader, c.engine(1), kTable, EncodeKey({int64_t{2}}), &row)
+                  .IsNotFound());
+}
+
+TEST_P(SchemeTest, SnapshotSeesAllOrNothingOfConcurrentCommit) {
+  // The fundamental cross-shard SI test: a reader must never observe a
+  // distributed transaction's write on one shard but not the other.
+  Cluster c(2, scheme());
+  TxnCoordinator coord(scheme(), &c.cn_hlc, &c.tso);
+  {
+    DistributedTxn init = coord.Begin();
+    ASSERT_TRUE(coord.Insert(&init, c.engine(0), kTable, {int64_t{1}, int64_t{0}}).ok());
+    ASSERT_TRUE(coord.Insert(&init, c.engine(1), kTable, {int64_t{2}, int64_t{0}}).ok());
+    ASSERT_TRUE(coord.Commit(&init).ok());
+  }
+  for (int round = 1; round <= 50; ++round) {
+    c.TickAll();
+    DistributedTxn writer = coord.Begin();
+    ASSERT_TRUE(
+        coord.Update(&writer, c.engine(0), kTable, {int64_t{1}, int64_t(round)}).ok());
+    ASSERT_TRUE(
+        coord.Update(&writer, c.engine(1), kTable, {int64_t{2}, int64_t(round)}).ok());
+    ASSERT_TRUE(coord.Commit(&writer).ok());
+
+    DistributedTxn reader = coord.Begin();
+    Row a, b;
+    ASSERT_TRUE(coord.Read(&reader, c.engine(0), kTable, EncodeKey({int64_t{1}}), &a).ok());
+    ASSERT_TRUE(coord.Read(&reader, c.engine(1), kTable, EncodeKey({int64_t{2}}), &b).ok());
+    EXPECT_EQ(std::get<int64_t>(a[1]), std::get<int64_t>(b[1]))
+        << "torn snapshot in round " << round;
+    ASSERT_TRUE(coord.Commit(&reader).ok());
+  }
+}
+
+TEST_P(SchemeTest, OneShardCommitUsesFastPath) {
+  Cluster c(2, scheme());
+  TxnCoordinator coord(scheme(), &c.cn_hlc, &c.tso);
+  DistributedTxn txn = coord.Begin();
+  ASSERT_TRUE(coord.Insert(&txn, c.engine(0), kTable, {int64_t{1}, int64_t{1}}).ok());
+  ASSERT_TRUE(coord.Commit(&txn).ok());
+  if (scheme() == TsScheme::kHlcSi) {
+    EXPECT_EQ(coord.stats().one_shard_commits, 1u);
+  }
+  EXPECT_EQ(coord.stats().committed, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeTest,
+                         ::testing::Values(TsScheme::kHlcSi,
+                                           TsScheme::kTsoSi),
+                         [](const auto& info) {
+                           return info.param == TsScheme::kHlcSi ? "HlcSi"
+                                                                 : "TsoSi";
+                         });
+
+TEST(HlcSiTest, WorksUnderSevereClockSkew) {
+  // DN clocks skewed by seconds: HLC-SI must still give consistent
+  // snapshots (the whole point of hybrid clocks vs Clock-SI).
+  Cluster c(2, TsScheme::kHlcSi, {100, 60000});
+  TxnCoordinator coord(TsScheme::kHlcSi, &c.cn_hlc, &c.tso);
+  {
+    DistributedTxn init = coord.Begin();
+    ASSERT_TRUE(coord.Insert(&init, c.engine(0), kTable, {int64_t{1}, int64_t{0}}).ok());
+    ASSERT_TRUE(coord.Insert(&init, c.engine(1), kTable, {int64_t{2}, int64_t{0}}).ok());
+    ASSERT_TRUE(coord.Commit(&init).ok());
+  }
+  for (int round = 1; round <= 30; ++round) {
+    c.TickAll();
+    DistributedTxn writer = coord.Begin();
+    ASSERT_TRUE(coord.Update(&writer, c.engine(0), kTable, {int64_t{1}, int64_t(round)}).ok());
+    ASSERT_TRUE(coord.Update(&writer, c.engine(1), kTable, {int64_t{2}, int64_t(round)}).ok());
+    ASSERT_TRUE(coord.Commit(&writer).ok());
+    DistributedTxn reader = coord.Begin();
+    Row a, b;
+    ASSERT_TRUE(coord.Read(&reader, c.engine(0), kTable, EncodeKey({int64_t{1}}), &a).ok());
+    ASSERT_TRUE(coord.Read(&reader, c.engine(1), kTable, EncodeKey({int64_t{2}}), &b).ok());
+    EXPECT_EQ(std::get<int64_t>(a[1]), std::get<int64_t>(b[1]));
+    ASSERT_TRUE(coord.Commit(&reader).ok());
+  }
+}
+
+TEST(HlcSiTest, CommitTsIsMaxOfPrepareTs) {
+  Cluster c(3, TsScheme::kHlcSi, {1000, 5000, 3000});
+  TxnCoordinator coord(TsScheme::kHlcSi, &c.cn_hlc, &c.tso);
+  DistributedTxn txn = coord.Begin();
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(coord.Insert(&txn, c.engine(i), kTable, {int64_t(i), int64_t(i)}).ok());
+  }
+  ASSERT_TRUE(coord.Commit(&txn).ok());
+  // The fastest clock (shard 1 at 5000ms) dominates the commit timestamp.
+  EXPECT_GE(hlc_layout::Pt(txn.commit_ts()), 5000u);
+  // The coordinator clock absorbed the max.
+  EXPECT_GE(c.cn_hlc.Peek(), txn.commit_ts());
+}
+
+TEST(HlcSiTest, VisibilityRuleMatchesPaperProof) {
+  // Construct the §IV proof scenario directly: T2's snapshot is taken, then
+  // T1 (still ACTIVE on the shared shard when T2 reads) must be invisible
+  // and must receive commit_ts > T2.snapshot_ts.
+  Cluster c(2, TsScheme::kHlcSi);
+  TxnCoordinator coord(TsScheme::kHlcSi, &c.cn_hlc, &c.tso);
+  {
+    DistributedTxn init = coord.Begin();
+    ASSERT_TRUE(coord.Insert(&init, c.engine(0), kTable, {int64_t{1}, int64_t{0}}).ok());
+    ASSERT_TRUE(coord.Commit(&init).ok());
+  }
+  c.TickAll();
+  DistributedTxn t1 = coord.Begin();
+  ASSERT_TRUE(coord.Update(&t1, c.engine(0), kTable, {int64_t{1}, int64_t{111}}).ok());
+  // T1 ACTIVE, not yet prepared.
+  DistributedTxn t2 = coord.Begin();
+  Row row;
+  ASSERT_TRUE(coord.Read(&t2, c.engine(0), kTable, EncodeKey({int64_t{1}}), &row).ok());
+  EXPECT_EQ(std::get<int64_t>(row[1]), 0) << "ACTIVE T1 must be invisible";
+  // Force a second participant so commit runs full 2PC.
+  ASSERT_TRUE(coord.Upsert(&t1, c.engine(1), kTable, {int64_t{9}, int64_t{9}}).ok());
+  ASSERT_TRUE(coord.Commit(&t1).ok());
+  EXPECT_GT(t1.commit_ts(), t2.snapshot_ts())
+      << "paper invariant: T1.commit_ts > T2.snapshot_ts";
+  ASSERT_TRUE(coord.Commit(&t2).ok());
+}
+
+TEST(TsoSiTest, EveryTxnCallsTso) {
+  Cluster c(2, TsScheme::kTsoSi);
+  TxnCoordinator coord(TsScheme::kTsoSi, &c.cn_hlc, &c.tso);
+  for (int i = 0; i < 5; ++i) {
+    c.TickAll();
+    DistributedTxn txn = coord.Begin();
+    ASSERT_TRUE(coord.Upsert(&txn, c.engine(0), kTable, {int64_t{1}, int64_t(i)}).ok());
+    ASSERT_TRUE(coord.Upsert(&txn, c.engine(1), kTable, {int64_t{2}, int64_t(i)}).ok());
+    ASSERT_TRUE(coord.Commit(&txn).ok());
+  }
+  // snapshot + commit per transaction.
+  EXPECT_EQ(coord.stats().tso_calls, 10u);
+  EXPECT_EQ(c.tso.requests_served(), 10u);
+}
+
+// Randomized multi-shard bank: transfers across shards, snapshot audits in
+// between. Total balance must be invariant in every audit under both
+// schemes and arbitrary clock skews.
+struct BankParam {
+  TsScheme scheme;
+  uint64_t seed;
+  std::vector<uint64_t> skews;
+};
+
+class DistributedBankTest : public ::testing::TestWithParam<BankParam> {};
+
+TEST_P(DistributedBankTest, SnapshotAuditsAlwaysBalance) {
+  const BankParam& p = GetParam();
+  constexpr int kShards = 4;
+  constexpr int kAccountsPerShard = 4;
+  constexpr int64_t kInitial = 1000;
+  Cluster c(kShards, p.scheme, p.skews);
+  TxnCoordinator coord(p.scheme, &c.cn_hlc, &c.tso);
+  {
+    DistributedTxn init = coord.Begin();
+    for (int s = 0; s < kShards; ++s) {
+      for (int a = 0; a < kAccountsPerShard; ++a) {
+        ASSERT_TRUE(coord
+                        .Insert(&init, c.engine(s), kTable,
+                                {int64_t(a), kInitial})
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(coord.Commit(&init).ok());
+  }
+
+  Rng rng(p.seed);
+  int committed = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    c.TickAll(rng.Uniform(3));
+    if (rng.Bernoulli(0.25)) {
+      DistributedTxn audit = coord.Begin();
+      int64_t total = 0;
+      for (int s = 0; s < kShards; ++s) {
+        for (int a = 0; a < kAccountsPerShard; ++a) {
+          Row row;
+          ASSERT_TRUE(coord
+                          .Read(&audit, c.engine(s), kTable,
+                                EncodeKey({int64_t(a)}), &row)
+                          .ok());
+          total += std::get<int64_t>(row[1]);
+        }
+      }
+      EXPECT_EQ(total, int64_t(kShards) * kAccountsPerShard * kInitial)
+          << "iter " << iter;
+      ASSERT_TRUE(coord.Commit(&audit).ok());
+      continue;
+    }
+    int from_shard = int(rng.Uniform(kShards));
+    int to_shard = int(rng.Uniform(kShards));
+    int64_t from_acc = int64_t(rng.Uniform(kAccountsPerShard));
+    int64_t to_acc = int64_t(rng.Uniform(kAccountsPerShard));
+    if (from_shard == to_shard && from_acc == to_acc) continue;
+    int64_t amount = rng.UniformRange(1, 20);
+    DistributedTxn txn = coord.Begin();
+    Row from_row, to_row;
+    if (!coord.Read(&txn, c.engine(from_shard), kTable,
+                    EncodeKey({from_acc}), &from_row)
+             .ok() ||
+        !coord.Read(&txn, c.engine(to_shard), kTable, EncodeKey({to_acc}),
+                    &to_row)
+             .ok()) {
+      coord.Abort(&txn);
+      continue;
+    }
+    Status s1 = coord.Update(&txn, c.engine(from_shard), kTable,
+                             {from_acc, std::get<int64_t>(from_row[1]) - amount});
+    Status s2 = coord.Update(&txn, c.engine(to_shard), kTable,
+                             {to_acc, std::get<int64_t>(to_row[1]) + amount});
+    if (!s1.ok() || !s2.ok()) {
+      coord.Abort(&txn);
+      continue;
+    }
+    if (coord.Commit(&txn).ok()) ++committed;
+  }
+  EXPECT_GT(committed, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesSeedsSkews, DistributedBankTest,
+    ::testing::Values(
+        BankParam{TsScheme::kHlcSi, 7, {}},
+        BankParam{TsScheme::kHlcSi, 21, {500, 90000, 1000, 444}},
+        BankParam{TsScheme::kHlcSi, 1234, {1, 1, 1, 1}},
+        BankParam{TsScheme::kTsoSi, 7, {}},
+        BankParam{TsScheme::kTsoSi, 21, {500, 90000, 1000, 444}}),
+    [](const auto& info) {
+      const BankParam& p = info.param;
+      std::string name =
+          p.scheme == TsScheme::kHlcSi ? "HlcSi" : "TsoSi";
+      name += "_seed" + std::to_string(p.seed);
+      name += p.skews.empty() ? "_noskew" : "_skewed";
+      return name;
+    });
+
+}  // namespace
+}  // namespace polarx

@@ -1,0 +1,364 @@
+// Tests for partitioning (§II-B), GMS planning, and PolarDB-MT tenant
+// transfer (§V): bindings/leases, dictionary mastership, the transfer state
+// machine (no data copy), and the data-copy baseline.
+#include <gtest/gtest.h>
+
+#include "src/gms/gms.h"
+#include "src/mt/polardb_mt.h"
+#include "src/partition/partition.h"
+
+namespace polarx {
+namespace {
+
+// ---------- partition ----------
+
+TEST(PartitionTest, ImplicitPrimaryKeyAdded) {
+  TableDef def = MakeTableDef(1, "t", {{"a", ValueType::kString, true}}, {},
+                              4);
+  EXPECT_TRUE(def.implicit_pk);
+  ASSERT_EQ(def.schema.num_columns(), 2u);
+  EXPECT_EQ(def.schema.columns()[0].name, "__pk");
+  EXPECT_EQ(def.schema.columns()[0].type, ValueType::kInt64);
+  EXPECT_FALSE(def.schema.columns()[0].nullable);
+  EXPECT_EQ(def.schema.key_columns(), (std::vector<uint32_t>{0}));
+}
+
+TEST(PartitionTest, ExplicitKeyKept) {
+  TableDef def = MakeTableDef(
+      1, "t",
+      {{"id", ValueType::kInt64, false}, {"v", ValueType::kString, true}},
+      {0}, 8);
+  EXPECT_FALSE(def.implicit_pk);
+  EXPECT_EQ(def.schema.num_columns(), 2u);
+}
+
+TEST(PartitionTest, RuleRoutesConsistently) {
+  PartitionRule rule(16);
+  Schema schema({{"id", ValueType::kInt64, false}}, {0});
+  for (int64_t i = 0; i < 100; ++i) {
+    ShardId s1 = rule.ShardOfRow(schema, {i});
+    ShardId s2 = rule.ShardOfKey(EncodeKey({i}));
+    EXPECT_EQ(s1, s2);
+    EXPECT_LT(s1, 16u);
+  }
+}
+
+TEST(PartitionTest, TableGroupRequiresMatchingShardCounts) {
+  TableGroupRegistry reg;
+  TableDef a = MakeTableDef(1, "orders", {{"id", ValueType::kInt64, false}},
+                            {0}, 8);
+  a.table_group = "g";
+  TableDef b = MakeTableDef(2, "lines", {{"id", ValueType::kInt64, false}},
+                            {0}, 8);
+  b.table_group = "g";
+  TableDef c = MakeTableDef(3, "bad", {{"id", ValueType::kInt64, false}},
+                            {0}, 4);
+  c.table_group = "g";
+  EXPECT_TRUE(reg.Register(a).ok());
+  EXPECT_TRUE(reg.Register(b).ok());
+  EXPECT_FALSE(reg.Register(c).ok());
+  EXPECT_TRUE(reg.Colocated(1, 2));
+  EXPECT_FALSE(reg.Colocated(1, 3));
+}
+
+TEST(PartitionTest, PartitionGroupsSpanGroupTables) {
+  TableGroupRegistry reg;
+  for (TableId id : {1, 2, 3}) {
+    TableDef def = MakeTableDef(id, "t" + std::to_string(id),
+                                {{"id", ValueType::kInt64, false}}, {0}, 4);
+    def.table_group = "g";
+    ASSERT_TRUE(reg.Register(def).ok());
+  }
+  auto groups = reg.GroupsOf("g");
+  ASSERT_EQ(groups.size(), 4u);  // one per shard
+  for (const auto& pg : groups) {
+    EXPECT_EQ(pg.tables.size(), 3u);
+  }
+}
+
+// ---------- GMS ----------
+
+TEST(GmsTest, CreateTableAssignsShardsToDns) {
+  Gms gms;
+  gms.RegisterDn(0);
+  gms.RegisterDn(1);
+  auto def = gms.CreateTable("users", {{"id", ValueType::kInt64, false}},
+                             {0}, 8);
+  ASSERT_TRUE(def.ok());
+  int on0 = 0, on1 = 0;
+  for (ShardId s = 0; s < 8; ++s) {
+    auto dn = gms.DnOfShard(def->id, s);
+    ASSERT_TRUE(dn.ok());
+    (*dn == 0 ? on0 : on1)++;
+  }
+  EXPECT_EQ(on0, 4);
+  EXPECT_EQ(on1, 4);
+}
+
+TEST(GmsTest, TableGroupMembersColocate) {
+  Gms gms;
+  gms.RegisterDn(0);
+  gms.RegisterDn(1);
+  gms.RegisterDn(2);
+  auto a = gms.CreateTable("orders", {{"id", ValueType::kInt64, false}}, {0},
+                           6, "g1");
+  auto b = gms.CreateTable("lineitem", {{"id", ValueType::kInt64, false}},
+                           {0}, 6, "g1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (ShardId s = 0; s < 6; ++s) {
+    EXPECT_EQ(*gms.DnOfShard(a->id, s), *gms.DnOfShard(b->id, s))
+        << "partition group " << s << " must colocate";
+  }
+}
+
+TEST(GmsTest, DuplicateTableRejected) {
+  Gms gms;
+  gms.RegisterDn(0);
+  ASSERT_TRUE(
+      gms.CreateTable("t", {{"id", ValueType::kInt64, false}}, {0}, 2).ok());
+  EXPECT_FALSE(
+      gms.CreateTable("t", {{"id", ValueType::kInt64, false}}, {0}, 2).ok());
+}
+
+TEST(GmsTest, GlobalIndexGetsHiddenTable) {
+  Gms gms;
+  gms.RegisterDn(0);
+  ASSERT_TRUE(gms.CreateTable("t",
+                              {{"id", ValueType::kInt64, false},
+                               {"email", ValueType::kString, true}},
+                              {0}, 4)
+                  .ok());
+  auto idx = gms.AddGlobalIndex("t", "by_email", {1}, /*clustered=*/true);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_GT(idx->hidden_table, 0u);
+  auto def = gms.FindTable("t");
+  ASSERT_TRUE(def.ok());
+  ASSERT_EQ(def->global_indexes.size(), 1u);
+  EXPECT_TRUE(def->global_indexes[0].clustered);
+}
+
+TEST(GmsTest, SequencesAreMonotonicPerTable) {
+  Gms gms;
+  EXPECT_EQ(gms.NextSequence(1), 1);
+  EXPECT_EQ(gms.NextSequence(1), 2);
+  EXPECT_EQ(gms.NextSequence(2), 1);
+}
+
+TEST(GmsTest, RebalancePlanEqualizesTenantCounts) {
+  Gms gms;
+  uint32_t dn0 = gms.RegisterDn(0);
+  for (TenantId t = 0; t < 8; ++t) {
+    ASSERT_TRUE(gms.BindTenant(t, dn0).ok());
+  }
+  uint32_t dn1 = gms.RegisterDn(1);
+  auto plan = gms.PlanRebalance();
+  ASSERT_EQ(plan.size(), 4u) << "half the tenants move to the new DN";
+  for (const auto& step : plan) {
+    EXPECT_EQ(step.src_dn, dn0);
+    EXPECT_EQ(step.dst_dn, dn1);
+    ASSERT_TRUE(gms.CommitMigration(step).ok());
+  }
+  EXPECT_EQ(gms.TenantsOn(dn0).size(), 4u);
+  EXPECT_EQ(gms.TenantsOn(dn1).size(), 4u);
+  EXPECT_TRUE(gms.PlanRebalance().empty()) << "already balanced";
+}
+
+TEST(GmsTest, CommitMigrationValidatesSource) {
+  Gms gms;
+  uint32_t dn0 = gms.RegisterDn(0);
+  uint32_t dn1 = gms.RegisterDn(0);
+  ASSERT_TRUE(gms.BindTenant(1, dn0).ok());
+  MigrationStep wrong{1, dn1, dn0};
+  EXPECT_TRUE(gms.CommitMigration(wrong).IsConflict());
+}
+
+// ---------- PolarDB-MT ----------
+
+Schema KvSchema() {
+  return Schema({{"id", ValueType::kInt64, false},
+                 {"val", ValueType::kString, true}},
+                {0});
+}
+
+struct MtFixture {
+  uint64_t now_ms = 1000;
+  MtCluster cluster;
+
+  MtFixture() : cluster([this] { return now_ms; }) {
+    cluster.AddRwNode();
+    cluster.AddRwNode();
+  }
+
+  TableStore* Setup(TenantId tenant, uint32_t rw, const std::string& table,
+                    int rows) {
+    EXPECT_TRUE(cluster.CreateTenant(tenant, rw).ok());
+    auto ts = cluster.CreateTable(tenant, table, KvSchema());
+    EXPECT_TRUE(ts.ok());
+    auto routed = cluster.Route(tenant);
+    EXPECT_TRUE(routed.ok());
+    TxnEngine* engine = (*routed)->engine();
+    TxnId txn = engine->Begin();
+    for (int64_t i = 0; i < rows; ++i) {
+      EXPECT_TRUE(engine->Insert(txn, (*ts)->id(),
+                                 {i, std::string("v") + std::to_string(i)})
+                      .ok());
+    }
+    EXPECT_TRUE(engine->CommitLocal(txn).ok());
+    return *ts;
+  }
+};
+
+TEST(MtTest, RoutingFollowsBindings) {
+  MtFixture f;
+  ASSERT_TRUE(f.cluster.CreateTenant(7, 1).ok());
+  auto rw = f.cluster.Route(7);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ((*rw)->id(), 1u);
+  EXPECT_TRUE(f.cluster.Route(99).status().IsNotFound());
+}
+
+TEST(MtTest, DdlRequiresTenantOwnership) {
+  MtFixture f;
+  ASSERT_TRUE(f.cluster.CreateTenant(1, 0).ok());
+  DataDictionary::TableMeta meta{100, "x", KvSchema(), 1};
+  // RW 1 does not own tenant 1.
+  EXPECT_FALSE(
+      f.cluster.dictionary()->ApplyDdl(1, *f.cluster.bindings(), meta).ok());
+  EXPECT_TRUE(
+      f.cluster.dictionary()->ApplyDdl(0, *f.cluster.bindings(), meta).ok());
+}
+
+TEST(MtTest, TransferMovesOwnershipWithoutCopy) {
+  MtFixture f;
+  TableStore* table = f.Setup(1, 0, "kv", 500);
+  TableId tid = table->id();
+  f.now_ms += 5;
+
+  auto metrics = f.cluster.TransferTenant(1, 1);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->tables_moved, 1u);
+  EXPECT_GT(metrics->pages_flushed, 0u) << "dirty pages drained to PolarFS";
+
+  // Ownership moved; the very same TableStore object is now on RW 1.
+  EXPECT_EQ(f.cluster.rw(0)->catalog()->FindTable(tid), nullptr);
+  TableStore* moved = f.cluster.rw(1)->catalog()->FindTable(tid);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved, table) << "shared storage: no data copy";
+  EXPECT_EQ(moved->ApproxRows(), 500u);
+
+  // New transactions route to the destination and see the data.
+  auto rw = f.cluster.Route(1);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ((*rw)->id(), 1u);
+  TxnId txn = (*rw)->engine()->Begin();
+  Row row;
+  EXPECT_TRUE(
+      (*rw)->engine()->Read(txn, tid, EncodeKey({int64_t{42}}), &row).ok());
+  EXPECT_TRUE((*rw)->engine()->CommitLocal(txn).ok());
+}
+
+TEST(MtTest, RoutingPausedDuringMigration) {
+  MtFixture f;
+  f.Setup(1, 0, "kv", 10);
+  f.cluster.bindings()->SetMigrating(1, true);
+  EXPECT_TRUE(f.cluster.Route(1).status().IsBusy());
+  f.cluster.bindings()->SetMigrating(1, false);
+  EXPECT_TRUE(f.cluster.Route(1).ok());
+}
+
+TEST(MtTest, TransferRefusedWithInflightWrites) {
+  MtFixture f;
+  f.Setup(1, 0, "kv", 10);
+  f.cluster.rw(0)->NoteWriteBegin(1);
+  EXPECT_TRUE(f.cluster.TransferTenant(1, 1).status().IsBusy());
+  f.cluster.rw(0)->NoteWriteEnd(1);
+  EXPECT_TRUE(f.cluster.TransferTenant(1, 1).ok());
+}
+
+TEST(MtTest, StaleLeaseDetectedAfterTransfer) {
+  MtFixture f;
+  f.Setup(1, 0, "kv", 10);
+  f.Setup(2, 0, "kv2", 10);
+  uint64_t v_before = f.cluster.rw(0)->cached_binding_version();
+  ASSERT_TRUE(f.cluster.TransferTenant(1, 1).ok());
+  // RW 0 still owns tenant 2; Route revalidates the (refreshed) lease.
+  auto rw = f.cluster.Route(2);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ((*rw)->id(), 0u);
+  EXPECT_GT(f.cluster.rw(0)->cached_binding_version(), v_before);
+  // RW 0 no longer owns tenant 1.
+  EXPECT_TRUE(
+      f.cluster.rw(0)->CheckTenantLease(1, *f.cluster.bindings()).IsNotLeader());
+}
+
+TEST(MtTest, SeparateRwNodesWriteConcurrentlyWithoutConflict) {
+  MtFixture f;
+  TableStore* t1 = f.Setup(1, 0, "kv1", 0);
+  TableStore* t2 = f.Setup(2, 1, "kv2", 0);
+  // Disjoint tenants on different RW nodes: both write streams proceed with
+  // private redo logs.
+  TxnEngine* e0 = f.cluster.rw(0)->engine();
+  TxnEngine* e1 = f.cluster.rw(1)->engine();
+  TxnId a = e0->Begin();
+  TxnId b = e1->Begin();
+  ASSERT_TRUE(e0->Insert(a, t1->id(), {int64_t{1}, std::string("x")}).ok());
+  ASSERT_TRUE(e1->Insert(b, t2->id(), {int64_t{1}, std::string("y")}).ok());
+  ASSERT_TRUE(e0->CommitLocal(a).ok());
+  ASSERT_TRUE(e1->CommitLocal(b).ok());
+  EXPECT_GT(f.cluster.rw(0)->redo_log()->current_lsn(), 1u);
+  EXPECT_GT(f.cluster.rw(1)->redo_log()->current_lsn(), 1u);
+}
+
+TEST(MtTest, CopyBaselineMovesEveryRow) {
+  MtFixture f;
+  TableStore* table = f.Setup(1, 0, "kv", 300);
+  TableId tid = table->id();
+  auto rows = f.cluster.CopyTenantBaseline(1, 1);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 300u) << "baseline must copy the data volume";
+  TableStore* dst_table = f.cluster.rw(1)->catalog()->FindTable(tid);
+  ASSERT_NE(dst_table, nullptr);
+  EXPECT_NE(dst_table, table) << "baseline creates a fresh physical table";
+  EXPECT_EQ(dst_table->ApproxRows(), 300u);
+  auto rw = f.cluster.Route(1);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ((*rw)->id(), 1u);
+}
+
+TEST(MtTest, MtScaleOutViaGmsPlan) {
+  // End-to-end §V scale-out: 1 RW with 6 tenants -> add an RW -> GMS plans
+  // -> transfers execute -> both RWs serve their halves.
+  MtFixture f;  // 2 RWs already; use rw0 only initially
+  Gms gms;
+  uint32_t dn0 = gms.RegisterDn(0);
+  std::map<TenantId, TableId> tenant_tables;
+  for (TenantId t = 10; t < 16; ++t) {
+    TableStore* ts = f.Setup(t, 0, "kv" + std::to_string(t), 20);
+    tenant_tables[t] = ts->id();
+    ASSERT_TRUE(gms.BindTenant(t, dn0).ok());
+  }
+  uint32_t dn1 = gms.RegisterDn(0);
+  (void)dn1;
+  auto plan = gms.PlanRebalance();
+  ASSERT_EQ(plan.size(), 3u);
+  for (const auto& step : plan) {
+    ASSERT_TRUE(f.cluster.TransferTenant(step.tenant, 1).ok());
+    ASSERT_TRUE(gms.CommitMigration(step).ok());
+  }
+  EXPECT_EQ(f.cluster.bindings()->TenantsOf(0).size(), 3u);
+  EXPECT_EQ(f.cluster.bindings()->TenantsOf(1).size(), 3u);
+  // Every tenant still serves reads from its new home.
+  for (const auto& [tenant, tid] : tenant_tables) {
+    auto rw = f.cluster.Route(tenant);
+    ASSERT_TRUE(rw.ok());
+    TxnId txn = (*rw)->engine()->Begin();
+    Row row;
+    EXPECT_TRUE(
+        (*rw)->engine()->Read(txn, tid, EncodeKey({int64_t{5}}), &row).ok())
+        << "tenant " << tenant;
+    (*rw)->engine()->CommitLocal(txn);
+  }
+}
+
+}  // namespace
+}  // namespace polarx

@@ -1,0 +1,616 @@
+// Tests for the executor: expressions, operators, MPP parallel fragments,
+// the time-slicing scheduler with TP/AP isolation, and memory regions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/clock/hlc.h"
+#include "src/exec/expr.h"
+#include "src/exec/memory.h"
+#include "src/exec/mpp.h"
+#include "src/exec/operator.h"
+#include "src/exec/scheduler.h"
+#include "src/optimizer/cost.h"
+#include "src/storage/buffer_pool.h"
+#include "src/txn/engine.h"
+
+namespace polarx {
+namespace {
+
+// ---------- expressions ----------
+
+TEST(ExprTest, ArithmeticAndComparison) {
+  Row row{int64_t{10}, 2.5, std::string("hello")};
+  auto plus = Expr::Arith(ArithOp::kAdd, Expr::Col(0), Expr::Lit(int64_t{5}));
+  EXPECT_EQ(std::get<int64_t>(plus->Eval(row)), 15);
+  auto mul = Expr::Arith(ArithOp::kMul, Expr::Col(0), Expr::Col(1));
+  EXPECT_DOUBLE_EQ(std::get<double>(mul->Eval(row)), 25.0);
+  auto cmp = Expr::ColCmp(CmpOp::kGt, 0, int64_t{9});
+  EXPECT_TRUE(cmp->EvalBool(row));
+  auto div0 = Expr::Arith(ArithOp::kDiv, Expr::Col(0), Expr::Lit(int64_t{0}));
+  EXPECT_DOUBLE_EQ(std::get<double>(div0->Eval(row)), 0.0);
+}
+
+TEST(ExprTest, LogicShortForms) {
+  Row row{int64_t{10}};
+  auto t = Expr::ColCmp(CmpOp::kEq, 0, int64_t{10});
+  auto f = Expr::ColCmp(CmpOp::kEq, 0, int64_t{11});
+  EXPECT_TRUE(Expr::And(t, t)->EvalBool(row));
+  EXPECT_FALSE(Expr::And(t, f)->EvalBool(row));
+  EXPECT_TRUE(Expr::Or(f, t)->EvalBool(row));
+  EXPECT_TRUE(Expr::Not(f)->EvalBool(row));
+}
+
+TEST(ExprTest, StringPredicates) {
+  Row row{std::string("PROMO BRUSHED STEEL")};
+  EXPECT_TRUE(Expr::StartsWith(Expr::Col(0), "PROMO")->EvalBool(row));
+  EXPECT_FALSE(Expr::StartsWith(Expr::Col(0), "STEEL")->EvalBool(row));
+  EXPECT_TRUE(Expr::Contains(Expr::Col(0), "BRUSHED")->EvalBool(row));
+  EXPECT_FALSE(Expr::Contains(Expr::Col(0), "green")->EvalBool(row));
+}
+
+TEST(ExprTest, CaseInBetweenNull) {
+  Row row{int64_t{5}, Value{}};
+  auto caze = Expr::Case(Expr::ColCmp(CmpOp::kLt, 0, int64_t{10}),
+                         Expr::Lit(int64_t{1}), Expr::Lit(int64_t{0}));
+  EXPECT_EQ(std::get<int64_t>(caze->Eval(row)), 1);
+  EXPECT_TRUE(Expr::Between(0, int64_t{1}, int64_t{5})->EvalBool(row));
+  EXPECT_FALSE(Expr::Between(0, int64_t{6}, int64_t{9})->EvalBool(row));
+  EXPECT_TRUE(Expr::IsNull(Expr::Col(1))->EvalBool(row));
+  EXPECT_TRUE(
+      Expr::In(Expr::Col(0), {Value{int64_t{3}}, Value{int64_t{5}}})
+          ->EvalBool(row));
+  // NULL comparisons are not true.
+  EXPECT_FALSE(Expr::ColCmp(CmpOp::kEq, 1, int64_t{0})->EvalBool(row));
+}
+
+TEST(ExprTest, DaysEncodesDatesInOrder) {
+  EXPECT_EQ(Days(1970, 1, 1), 0);
+  EXPECT_EQ(Days(1970, 1, 2), 1);
+  EXPECT_LT(Days(1994, 12, 31), Days(1995, 1, 1));
+  EXPECT_EQ(Days(1995, 1, 1) - Days(1994, 1, 1), 365);
+  EXPECT_EQ(Days(1996, 12, 31) - Days(1996, 1, 1), 365);  // leap year
+}
+
+// ---------- operators ----------
+
+/// Builds a committed table of n rows: {id, id % 10, "name<i>"}.
+struct ExecFixture {
+  uint64_t now_ms = 1000;
+  TableCatalog catalog;
+  Hlc hlc;
+  RedoLog log;
+  CountingPageStore store;
+  BufferPool pool;
+  TxnEngine engine;
+  TableStore* table = nullptr;
+  Timestamp snapshot = 0;
+
+  explicit ExecFixture(int n = 100)
+      : hlc([this] { return now_ms; }),
+        pool(&store),
+        engine(1, &catalog, &hlc, &log, &pool) {
+    Schema schema({{"id", ValueType::kInt64, false},
+                   {"grp", ValueType::kInt64, false},
+                   {"name", ValueType::kString, true}},
+                  {0});
+    table = *catalog.CreateTable(1, "t", schema, 0);
+    TxnId txn = engine.Begin();
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(engine
+                      .Insert(txn, 1,
+                              {i, i % 10, "name" + std::to_string(i)})
+                      .ok());
+    }
+    EXPECT_TRUE(engine.CommitLocal(txn).ok());
+    now_ms += 1;
+    snapshot = hlc.Now();
+  }
+};
+
+TEST(OperatorTest, TableScanProducesAllVisibleRows) {
+  ExecFixture f(2500);  // multiple batches
+  TableScanOp scan({f.table}, f.snapshot);
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2500u);
+}
+
+TEST(OperatorTest, TableScanPushedFilterAndProjection) {
+  ExecFixture f(100);
+  TableScanOp scan({f.table}, f.snapshot,
+                   Expr::ColCmp(CmpOp::kLt, 0, int64_t{10}), {2, 0});
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 10u);
+  EXPECT_EQ((*rows)[0].size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<std::string>((*rows)[0][0]));
+}
+
+TEST(OperatorTest, TableScanSnapshotExcludesLaterWrites) {
+  ExecFixture f(10);
+  // Write more rows after the snapshot.
+  f.now_ms += 1;
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(
+      f.engine.Insert(txn, 1, {int64_t{1000}, int64_t{0}, std::string("x")})
+          .ok());
+  ASSERT_TRUE(f.engine.CommitLocal(txn).ok());
+  TableScanOp scan({f.table}, f.snapshot);
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST(OperatorTest, MultiShardScanConcatenates) {
+  ExecFixture f1(30);
+  ExecFixture f2(20);
+  TableScanOp scan({f1.table, f2.table},
+                   std::max(f1.snapshot, f2.snapshot));
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 50u);
+}
+
+TEST(OperatorTest, FilterProjectPipeline) {
+  ExecFixture f(100);
+  auto plan = std::make_unique<ProjectOp>(
+      std::make_unique<FilterOp>(
+          std::make_unique<TableScanOp>(std::vector<TableStore*>{f.table},
+                                        f.snapshot),
+          Expr::ColCmp(CmpOp::kEq, 1, int64_t{3})),
+      std::vector<ExprPtr>{
+          Expr::Col(0),
+          Expr::Arith(ArithOp::kMul, Expr::Col(0), Expr::Lit(int64_t{2}))});
+  auto rows = Collect(plan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  for (const auto& r : *rows) {
+    EXPECT_EQ(std::get<int64_t>(r[1]), 2 * std::get<int64_t>(r[0]));
+  }
+}
+
+TEST(OperatorTest, HashJoinInner) {
+  auto probe = std::make_unique<ValuesOp>(std::vector<Row>{
+      {int64_t{1}, std::string("a")},
+      {int64_t{2}, std::string("b")},
+      {int64_t{2}, std::string("b2")},
+      {int64_t{9}, std::string("z")}});
+  auto build = std::make_unique<ValuesOp>(std::vector<Row>{
+      {int64_t{1}, std::string("x")}, {int64_t{2}, std::string("y")}});
+  HashJoinOp join(std::move(probe), std::move(build), {0}, {0});
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);  // key 9 unmatched
+  for (const auto& r : *rows) {
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_EQ(std::get<int64_t>(r[0]), std::get<int64_t>(r[2]));
+  }
+}
+
+TEST(OperatorTest, HashJoinSemiAnti) {
+  auto make_probe = [] {
+    return std::make_unique<ValuesOp>(std::vector<Row>{
+        {int64_t{1}}, {int64_t{2}}, {int64_t{3}}});
+  };
+  auto make_build = [] {
+    return std::make_unique<ValuesOp>(
+        std::vector<Row>{{int64_t{2}}, {int64_t{2}}});
+  };
+  HashJoinOp semi(make_probe(), make_build(), {0}, {0}, JoinType::kLeftSemi);
+  auto semi_rows = Collect(&semi);
+  ASSERT_TRUE(semi_rows.ok());
+  ASSERT_EQ(semi_rows->size(), 1u);
+  EXPECT_EQ(std::get<int64_t>((*semi_rows)[0][0]), 2);
+
+  HashJoinOp anti(make_probe(), make_build(), {0}, {0}, JoinType::kLeftAnti);
+  auto anti_rows = Collect(&anti);
+  ASSERT_TRUE(anti_rows.ok());
+  EXPECT_EQ(anti_rows->size(), 2u);
+}
+
+TEST(OperatorTest, LookupJoinFetchesByPrimaryKey) {
+  ExecFixture f(50);
+  auto probe = std::make_unique<ValuesOp>(std::vector<Row>{
+      {int64_t{5}}, {int64_t{7}}, {int64_t{500}}});
+  LookupJoinOp join(std::move(probe), f.table,
+                    {Expr::Col(0)}, f.snapshot);
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);  // 500 misses
+  EXPECT_EQ(std::get<std::string>((*rows)[0][3]), "name5");
+  EXPECT_EQ(join.lookups(), 3u);
+}
+
+TEST(OperatorTest, HashAggComplete) {
+  ExecFixture f(100);
+  HashAggOp agg(
+      std::make_unique<TableScanOp>(std::vector<TableStore*>{f.table},
+                                    f.snapshot),
+      {Expr::Col(1)},
+      {{AggOp::kCount, nullptr},
+       {AggOp::kSum, Expr::Col(0)},
+       {AggOp::kAvg, Expr::Col(0)},
+       {AggOp::kMin, Expr::Col(0)},
+       {AggOp::kMax, Expr::Col(0)}});
+  auto rows = Collect(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 10u);  // 10 groups
+  for (const auto& r : *rows) {
+    int64_t grp = std::get<int64_t>(r[0]);
+    EXPECT_EQ(std::get<int64_t>(r[1]), 10);  // count
+    // ids in group g: g, g+10, ..., g+90 => sum = 10g + 450
+    EXPECT_DOUBLE_EQ(std::get<double>(r[2]), 10.0 * grp + 450.0);
+    EXPECT_DOUBLE_EQ(std::get<double>(r[3]), grp + 45.0);  // avg
+    EXPECT_EQ(std::get<int64_t>(r[4]), grp);               // min
+    EXPECT_EQ(std::get<int64_t>(r[5]), grp + 90);          // max
+  }
+}
+
+TEST(OperatorTest, GlobalAggOnEmptyInputYieldsOneRow) {
+  HashAggOp agg(std::make_unique<ValuesOp>(std::vector<Row>{}), {},
+                {{AggOp::kCount, nullptr}, {AggOp::kSum, Expr::Col(0)}});
+  auto rows = Collect(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][0]), 0);
+}
+
+TEST(OperatorTest, PartialFinalAggEqualsComplete) {
+  ExecFixture f(200);
+  // Complete in one pass.
+  HashAggOp complete(
+      std::make_unique<TableScanOp>(std::vector<TableStore*>{f.table},
+                                    f.snapshot),
+      {Expr::Col(1)},
+      {{AggOp::kSum, Expr::Col(0)}, {AggOp::kAvg, Expr::Col(0)}});
+  auto expected = Collect(&complete);
+  ASSERT_TRUE(expected.ok());
+
+  // Partial over two halves, then final merge.
+  auto make_partial = [&](ExprPtr filter) {
+    return std::make_unique<HashAggOp>(
+        std::make_unique<TableScanOp>(std::vector<TableStore*>{f.table},
+                                      f.snapshot, filter),
+        std::vector<ExprPtr>{Expr::Col(1)},
+        std::vector<AggSpec>{{AggOp::kSum, Expr::Col(0)},
+                             {AggOp::kAvg, Expr::Col(0)}},
+        AggMode::kPartial);
+  };
+  auto lo = Collect(
+      make_partial(Expr::ColCmp(CmpOp::kLt, 0, int64_t{100})).get());
+  auto hi = Collect(
+      make_partial(Expr::ColCmp(CmpOp::kGe, 0, int64_t{100})).get());
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  std::vector<Row> partials = *lo;
+  partials.insert(partials.end(), hi->begin(), hi->end());
+  HashAggOp final_agg(std::make_unique<ValuesOp>(std::move(partials)),
+                      {Expr::Col(0)},
+                      {{AggOp::kSum, nullptr}, {AggOp::kAvg, nullptr}},
+                      AggMode::kFinal);
+  // Final mode reads states positionally; exprs unused.
+  auto merged = Collect(&final_agg);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->size(), expected->size());
+  // Compare as sorted sets.
+  auto sorter = [](const Row& a, const Row& b) {
+    return std::get<int64_t>(a[0]) < std::get<int64_t>(b[0]);
+  };
+  std::sort(merged->begin(), merged->end(), sorter);
+  std::sort(expected->begin(), expected->end(), sorter);
+  for (size_t i = 0; i < merged->size(); ++i) {
+    EXPECT_EQ(std::get<int64_t>((*merged)[i][0]),
+              std::get<int64_t>((*expected)[i][0]));
+    EXPECT_DOUBLE_EQ(std::get<double>((*merged)[i][1]),
+                     std::get<double>((*expected)[i][1]));
+    EXPECT_DOUBLE_EQ(std::get<double>((*merged)[i][2]),
+                     std::get<double>((*expected)[i][2]));
+  }
+}
+
+TEST(OperatorTest, SortAscDescAndTopN) {
+  auto make_values = [] {
+    return std::make_unique<ValuesOp>(std::vector<Row>{
+        {int64_t{3}}, {int64_t{1}}, {int64_t{4}}, {int64_t{1}}, {int64_t{5}}});
+  };
+  SortOp asc(make_values(), {{0, true}});
+  auto rows = Collect(&asc);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][0]), 1);
+  EXPECT_EQ(std::get<int64_t>((*rows)[4][0]), 5);
+
+  SortOp top2(make_values(), {{0, false}}, 2);
+  auto top = Collect(&top2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ(std::get<int64_t>((*top)[0][0]), 5);
+  EXPECT_EQ(std::get<int64_t>((*top)[1][0]), 4);
+}
+
+TEST(OperatorTest, LimitStopsEarly) {
+  ExecFixture f(5000);
+  LimitOp limit(std::make_unique<TableScanOp>(
+                    std::vector<TableStore*>{f.table}, f.snapshot),
+                7);
+  auto rows = Collect(&limit);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 7u);
+}
+
+TEST(OperatorTest, IndexScanRevalidatesVisibility) {
+  ExecFixture f(100);
+  LocalIndex* idx = f.table->AddIndex("by_grp", {1});
+  // Index built on commit only for post-index writes; backfill manually.
+  f.table->rows().ScanAll([&](const EncodedKey& pk, const VersionPtr& head) {
+    const Version* v = LatestVisible(head, f.snapshot);
+    if (v != nullptr) idx->Insert(idx->KeyFor(v->row), pk);
+    return true;
+  });
+  EncodedKey key;
+  EncodeValue(Value{int64_t{4}}, &key);
+  IndexScanOp scan(f.table, idx, key, "", f.snapshot);
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+
+  // Delete one member; a snapshot after the delete must skip it.
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Delete(txn, 1, EncodeKey({int64_t{4}})).ok());
+  ASSERT_TRUE(f.engine.CommitLocal(txn).ok());
+  f.now_ms += 1;
+  IndexScanOp scan2(f.table, idx, key, "", f.hlc.Now());
+  auto rows2 = Collect(&scan2);
+  ASSERT_TRUE(rows2.ok());
+  EXPECT_EQ(rows2->size(), 9u) << "stale index entry must be filtered";
+}
+
+// ---------- MPP ----------
+
+TEST(MppTest, ParallelScanCoversAllShards) {
+  std::vector<std::unique_ptr<ExecFixture>> fixtures;
+  std::vector<TableStore*> shards;
+  Timestamp snap = 0;
+  for (int i = 0; i < 8; ++i) {
+    fixtures.push_back(std::make_unique<ExecFixture>(100));
+    shards.push_back(fixtures.back()->table);
+    snap = std::max(snap, fixtures.back()->snapshot);
+  }
+  ThreadPool pool(4);
+  MppExecutor mpp(&pool);
+  auto rows = mpp.RunParallel(4, [&](int task, int ntasks) -> OperatorPtr {
+    return std::make_unique<TableScanOp>(
+        MppExecutor::ShardsForTask(shards, task, ntasks), snap);
+  });
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 800u);
+}
+
+TEST(MppTest, PartialFinalAggregation) {
+  std::vector<std::unique_ptr<ExecFixture>> fixtures;
+  std::vector<TableStore*> shards;
+  Timestamp snap = 0;
+  for (int i = 0; i < 4; ++i) {
+    fixtures.push_back(std::make_unique<ExecFixture>(100));
+    shards.push_back(fixtures.back()->table);
+    snap = std::max(snap, fixtures.back()->snapshot);
+  }
+  ThreadPool pool(4);
+  MppExecutor mpp(&pool);
+  auto rows = mpp.RunPartialFinal(
+      4,
+      [&](int task, int ntasks) -> OperatorPtr {
+        return std::make_unique<HashAggOp>(
+            std::make_unique<TableScanOp>(
+                MppExecutor::ShardsForTask(shards, task, ntasks), snap),
+            std::vector<ExprPtr>{Expr::Col(1)},
+            std::vector<AggSpec>{{AggOp::kCount, nullptr},
+                                 {AggOp::kSum, Expr::Col(0)}},
+            AggMode::kPartial);
+      },
+      [&](OperatorPtr gathered) -> OperatorPtr {
+        return std::make_unique<HashAggOp>(
+            std::move(gathered), std::vector<ExprPtr>{Expr::Col(0)},
+            std::vector<AggSpec>{{AggOp::kCount, nullptr},
+                                 {AggOp::kSum, nullptr}},
+            AggMode::kFinal);
+      });
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 10u);
+  for (const auto& r : *rows) {
+    EXPECT_EQ(std::get<int64_t>(r[1]), 40) << "10 per group per shard x4";
+  }
+}
+
+TEST(MppTest, ShardAssignmentIsDisjointAndComplete) {
+  std::vector<TableStore*> shards(10, nullptr);
+  std::set<size_t> seen;
+  for (int t = 0; t < 3; ++t) {
+    auto mine = MppExecutor::ShardsForTask(shards, t, 3);
+    for (auto* s : mine) {
+      (void)s;
+    }
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (static_cast<int>(i % 3) == t) seen.insert(i);
+    }
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+// ---------- scheduler ----------
+
+/// A job that spins for a fixed cpu time per slice, for n slices.
+class SpinJob : public SlicedJob {
+ public:
+  SpinJob(int slices, std::chrono::microseconds per_slice)
+      : remaining_(slices), per_slice_(per_slice) {}
+  bool RunSlice() override {
+    auto until = std::chrono::steady_clock::now() + per_slice_;
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    return --remaining_ <= 0;
+  }
+
+ private:
+  int remaining_;
+  std::chrono::microseconds per_slice_;
+};
+
+TEST(SchedulerTest, JobsComplete) {
+  QueryScheduler sched({.num_workers = 4});
+  std::vector<std::shared_ptr<JobHandle>> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sched.Submit(
+        std::make_shared<SpinJob>(2, std::chrono::microseconds(100)),
+        QueryClass::kTp));
+  }
+  for (auto& h : handles) {
+    h->Wait();
+    EXPECT_TRUE(h->done());
+  }
+}
+
+TEST(SchedulerTest, LongTpJobDemotedToAp) {
+  SchedulerOptions opts;
+  opts.num_workers = 2;
+  opts.tp_reclass_threshold = std::chrono::microseconds(2000);
+  QueryScheduler sched(opts);
+  // Masquerades as TP but burns 10ms over many slices.
+  auto h = sched.Submit(
+      std::make_shared<SpinJob>(10, std::chrono::microseconds(1000)),
+      QueryClass::kTp);
+  h->Wait();
+  EXPECT_EQ(h->final_class(), QueryClass::kAp);
+  EXPECT_GE(sched.demotions_to_ap(), 1u);
+}
+
+TEST(SchedulerTest, LongApJobDemotedToSlowPool) {
+  SchedulerOptions opts;
+  opts.num_workers = 2;
+  opts.ap_reclass_threshold = std::chrono::microseconds(2000);
+  QueryScheduler sched(opts);
+  auto h = sched.Submit(
+      std::make_shared<SpinJob>(10, std::chrono::microseconds(1000)),
+      QueryClass::kAp);
+  h->Wait();
+  EXPECT_EQ(h->final_class(), QueryClass::kSlowAp);
+  EXPECT_GE(sched.demotions_to_slow(), 1u);
+}
+
+TEST(SchedulerTest, IsolationKeepsTpLatencyLowUnderApFlood) {
+  SchedulerOptions opts;
+  opts.num_workers = 4;
+  opts.ap_max_concurrency = 1;
+  QueryScheduler sched(opts);
+  // Flood with long AP jobs.
+  std::vector<std::shared_ptr<JobHandle>> ap;
+  for (int i = 0; i < 16; ++i) {
+    ap.push_back(sched.Submit(
+        std::make_shared<SpinJob>(20, std::chrono::microseconds(2000)),
+        QueryClass::kAp));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // TP jobs must cut through.
+  std::vector<std::shared_ptr<JobHandle>> tp;
+  for (int i = 0; i < 8; ++i) {
+    tp.push_back(sched.Submit(
+        std::make_shared<SpinJob>(1, std::chrono::microseconds(500)),
+        QueryClass::kTp));
+  }
+  for (auto& h : tp) h->Wait();
+  for (auto& h : tp) {
+    EXPECT_LT(h->latency().count(), 200 * 1000)
+        << "TP latency must not queue behind the AP flood";
+  }
+  for (auto& h : ap) h->Wait();
+}
+
+TEST(SchedulerTest, OperatorJobCollectsRows) {
+  ExecFixture f(300);
+  QueryScheduler sched({.num_workers = 2});
+  auto job = std::make_shared<OperatorJob>(
+      std::make_unique<TableScanOp>(std::vector<TableStore*>{f.table},
+                                    f.snapshot),
+      /*batches_per_slice=*/1);
+  auto h = sched.Submit(job, QueryClass::kAp);
+  h->Wait();
+  EXPECT_TRUE(job->status().ok());
+  EXPECT_EQ(job->rows().size(), 300u);
+}
+
+// ---------- memory ----------
+
+TEST(MemoryTest, RegionsEnforceLimits) {
+  MemoryConfig cfg;
+  cfg.total_bytes = 8ULL << 30;
+  cfg.reserved_bytes = 1ULL << 30;
+  cfg.other_bytes = 1ULL << 30;
+  cfg.tp_min = 2ULL << 30;
+  cfg.ap_min = 2ULL << 30;  // headroom = 2GB
+  MemoryBroker broker(cfg);
+  EXPECT_EQ(broker.headroom_bytes(), 2ULL << 30);
+  EXPECT_TRUE(broker.Reserve(MemRegion::kOther, 1ULL << 30).ok());
+  EXPECT_TRUE(broker.Reserve(MemRegion::kOther, 1).IsResourceExhausted());
+}
+
+TEST(MemoryTest, TpPreemptsApHeadroom) {
+  MemoryConfig cfg;
+  cfg.total_bytes = 8ULL << 30;
+  cfg.reserved_bytes = 1ULL << 30;
+  cfg.other_bytes = 1ULL << 30;
+  cfg.tp_min = 2ULL << 30;
+  cfg.ap_min = 2ULL << 30;
+  MemoryBroker broker(cfg);
+  // AP grabs its min + all 2GB headroom.
+  ASSERT_TRUE(broker.Reserve(MemRegion::kAp, 4ULL << 30).ok());
+  // TP needs beyond its min: must succeed by preempting AP headroom.
+  ASSERT_TRUE(broker.Reserve(MemRegion::kTp, 3ULL << 30).ok());
+  EXPECT_EQ(broker.tp_preempted_bytes(), 1ULL << 30);
+  EXPECT_LT(broker.used(MemRegion::kAp), 4ULL << 30)
+      << "AP must have released preempted memory immediately";
+  // AP cannot reclaim while TP holds the headroom.
+  EXPECT_TRUE(broker.Reserve(MemRegion::kAp, 2ULL << 30).IsResourceExhausted());
+  // When TP releases (query completion), AP can grow again.
+  broker.Release(MemRegion::kTp, 3ULL << 30);
+  EXPECT_TRUE(broker.Reserve(MemRegion::kAp, 1ULL << 30).ok());
+}
+
+// ---------- optimizer ----------
+
+TEST(CostModelTest, PointQueryIsTp) {
+  CostModel model;
+  TableStats stats{10'000'000, 100, 0.0000001};
+  QueryProfile p = ScanProfile(stats, 0.0000001, /*via_index=*/true);
+  EXPECT_EQ(model.Classify(p), WorkloadClass::kTp);
+}
+
+TEST(CostModelTest, FullScanIsAp) {
+  CostModel model;
+  TableStats stats{10'000'000, 100, 0.001};
+  QueryProfile p = ScanProfile(stats, 0.5, /*via_index=*/false);
+  p.num_joins = 2;
+  p.has_aggregation = true;
+  EXPECT_EQ(model.Classify(p), WorkloadClass::kAp);
+}
+
+TEST(CostModelTest, StoreChoiceMatchesPaperIntuition) {
+  CostModel model;
+  TableStats big{6'000'000, 120, 0.0001};
+  // Large scan with aggregation: column index wins (§VI-E).
+  QueryProfile scan = ScanProfile(big, 0.3, false);
+  scan.has_aggregation = true;
+  EXPECT_EQ(model.ChooseStore(scan, true), StoreChoice::kColumnIndex);
+  // Point query: row store wins.
+  QueryProfile point = ScanProfile(big, 0.0000002, true);
+  EXPECT_EQ(model.ChooseStore(point, true), StoreChoice::kRowStore);
+  // No column index available: row store regardless.
+  EXPECT_EQ(model.ChooseStore(scan, false), StoreChoice::kRowStore);
+}
+
+TEST(CostModelTest, PushdownWhenItShrinksTransfer) {
+  CostModel model;
+  EXPECT_TRUE(model.ShouldPushDown(1'000'000, 100));
+  EXPECT_FALSE(model.ShouldPushDown(1000, 1000));
+}
+
+}  // namespace
+}  // namespace polarx

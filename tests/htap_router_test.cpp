@@ -1,0 +1,138 @@
+// Tests for the HTAP router (§VI-A): classification-based routing, store
+// choice, session consistency on replicas, and pool placement.
+#include <gtest/gtest.h>
+
+#include "src/htap/router.h"
+#include "src/storage/buffer_pool.h"
+
+namespace polarx {
+namespace {
+
+constexpr TableId kTable = 1;
+
+Schema WideSchema() {
+  return Schema({{"id", ValueType::kInt64, false},
+                 {"grp", ValueType::kInt64, false},
+                 {"val", ValueType::kDouble, false}},
+                {0});
+}
+
+struct RouterFixture {
+  uint64_t now_ms = 1000;
+  TableCatalog catalog;
+  Hlc hlc;
+  RedoLog log;
+  CountingPageStore store;
+  BufferPool pool;
+  TxnEngine engine;
+  QueryScheduler scheduler;
+  RoReplica ro;
+  ColumnIndex col_index;
+  HtapRouter router;
+
+  RouterFixture()
+      : hlc([this] { return now_ms; }),
+        pool(&store),
+        engine(1, &catalog, &hlc, &log, &pool),
+        scheduler({.num_workers = 2}),
+        ro(1),
+        col_index(WideSchema()),
+        router(&engine, &scheduler) {
+    catalog.CreateTable(kTable, "wide", WideSchema(), 0);
+    ro.MirrorTable(kTable, "wide", WideSchema(), 0);
+    ro.applier()->SetCommitHook(
+        [this](TxnId, Timestamp cts, const std::vector<RedoRecord>& ops) {
+          col_index.ApplyCommit(cts, ops);
+        });
+    router.AddReplica(&ro);
+    router.AddColumnIndex(kTable, &col_index);
+
+    TxnId txn = engine.Begin();
+    for (int64_t i = 0; i < 2000; ++i) {
+      engine.Insert(txn, kTable, {i, i % 10, double(i)});
+    }
+    engine.CommitLocal(txn);
+    now_ms += 1;
+  }
+
+  QueryProfile PointProfile() {
+    TableStats stats{2000, 24, 0.0005};
+    return ScanProfile(stats, 0.0005, true);
+  }
+  QueryProfile ScanAllProfile() {
+    TableStats stats{20'000'000, 24, 0.0005};
+    QueryProfile p = ScanProfile(stats, 1.0, false);
+    p.has_aggregation = true;
+    return p;
+  }
+};
+
+TEST(HtapRouterTest, PointQueryRoutesTpToRw) {
+  RouterFixture f;
+  RouteDecision decision;
+  auto plan = f.router.PlanScan(f.PointProfile(), kTable,
+                                Expr::ColCmp(CmpOp::kEq, 0, int64_t{7}),
+                                f.hlc.Now(), &decision);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(decision.workload, WorkloadClass::kTp);
+  EXPECT_EQ(decision.replica, -1);
+  auto rows = f.router.Execute(std::move(*plan), decision);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(f.router.tp_routed(), 1u);
+  EXPECT_EQ(f.router.ap_routed(), 0u);
+}
+
+TEST(HtapRouterTest, BigScanRoutesApToReplicaColumnIndex) {
+  RouterFixture f;
+  RouteDecision decision;
+  auto plan = f.router.PlanScan(f.ScanAllProfile(), kTable,
+                                Expr::ColCmp(CmpOp::kLt, 1, int64_t{5}),
+                                f.hlc.Now(), &decision);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(decision.workload, WorkloadClass::kAp);
+  EXPECT_GE(decision.replica, 0);
+  EXPECT_EQ(decision.store, StoreChoice::kColumnIndex);
+  auto rows = f.router.Execute(std::move(*plan), decision);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1000u);
+  EXPECT_EQ(f.router.ap_routed(), 1u);
+}
+
+TEST(HtapRouterTest, ApReadsAreSessionConsistent) {
+  // A write on the RW immediately followed by an AP query must be visible:
+  // the router waits for the replica to cover the RW's LSN.
+  RouterFixture f;
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(
+      f.engine.Insert(txn, kTable, {int64_t{99999}, int64_t{4}, 1.0}).ok());
+  ASSERT_TRUE(f.engine.CommitLocal(txn).ok());
+  f.now_ms += 1;
+
+  RouteDecision decision;
+  auto plan = f.router.PlanScan(
+      f.ScanAllProfile(), kTable,
+      Expr::ColCmp(CmpOp::kEq, 0, int64_t{99999}), f.hlc.Now(), &decision);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(decision.workload, WorkloadClass::kAp);
+  auto rows = f.router.Execute(std::move(*plan), decision);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u) << "fresh write must be visible on the RO";
+}
+
+TEST(HtapRouterTest, RowStoreChosenWithoutColumnIndex) {
+  RouterFixture f;
+  HtapRouter bare(&f.engine, &f.scheduler);
+  bare.AddReplica(&f.ro);  // no column index registered
+  RouteDecision decision;
+  auto plan = bare.PlanScan(f.ScanAllProfile(), kTable, nullptr,
+                            f.hlc.Now(), &decision);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(decision.store, StoreChoice::kRowStore);
+  auto rows = bare.Execute(std::move(*plan), decision);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2000u);
+}
+
+}  // namespace
+}  // namespace polarx

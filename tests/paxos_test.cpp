@@ -1,0 +1,316 @@
+// Tests for Paxos-with-leader-lease redo replication (§III): DLSN safety,
+// asynchronous commit, batching/pipelining, leader election, old-leader
+// cleanup, logger role, and DC-disaster survival.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/consensus/paxos.h"
+#include "src/sim/network.h"
+#include "src/storage/key_codec.h"
+
+namespace polarx {
+namespace {
+
+RedoRecord TestRecord(TxnId txn, int64_t id) {
+  RedoRecord rec;
+  rec.type = RedoType::kInsert;
+  rec.txn_id = txn;
+  rec.table_id = 1;
+  rec.key = EncodeKey({id});
+  rec.row = {id, std::string("value-") + std::to_string(id)};
+  return rec;
+}
+
+/// A 3-DC deployment: leader in DC0, follower in DC1, follower or logger in
+/// DC2, as in the paper's production topology.
+struct GroupFixture {
+  sim::Scheduler sched;
+  sim::Network net;
+  std::vector<std::unique_ptr<RedoLog>> logs;
+  std::unique_ptr<PaxosGroup> group;
+  PaxosMember* leader = nullptr;
+  PaxosMember* f1 = nullptr;
+  PaxosMember* f2 = nullptr;
+
+  explicit GroupFixture(PaxosConfig cfg = {}, bool third_is_logger = false)
+      : net(&sched, [] {
+          sim::NetworkConfig nc;
+          nc.jitter = 0;
+          return nc;
+        }()) {
+    group = std::make_unique<PaxosGroup>(&net, cfg);
+    for (int i = 0; i < 3; ++i) logs.push_back(std::make_unique<RedoLog>());
+    NodeId n0 = net.AddNode(0, "dn-leader");
+    NodeId n1 = net.AddNode(1, "dn-f1");
+    NodeId n2 = net.AddNode(2, third_is_logger ? "dn-logger" : "dn-f2");
+    leader = group->AddMember(n0, PaxosRole::kLeader, logs[0].get());
+    f1 = group->AddMember(n1, PaxosRole::kFollower, logs[1].get());
+    f2 = group->AddMember(
+        n2, third_is_logger ? PaxosRole::kLogger : PaxosRole::kFollower,
+        logs[2].get());
+    group->Start();
+  }
+
+  void RunFor(sim::SimTime us) { sched.RunUntil(sched.Now() + us); }
+};
+
+TEST(PaxosTest, ReplicatesToFollowersAndAdvancesDlsn) {
+  GroupFixture g;
+  MtrHandle h = g.leader->Append({TestRecord(1, 1), TestRecord(1, 2)});
+  g.RunFor(50 * sim::kUsPerMs);
+  EXPECT_GE(g.leader->dlsn(), h.end_lsn);
+  EXPECT_EQ(g.f1->log()->current_lsn(), g.leader->log()->current_lsn());
+  EXPECT_EQ(g.f2->log()->current_lsn(), g.leader->log()->current_lsn());
+  EXPECT_GE(g.f1->dlsn(), h.end_lsn);
+}
+
+TEST(PaxosTest, FollowerLogBytesIdenticalToLeader) {
+  GroupFixture g;
+  for (int i = 0; i < 50; ++i) g.leader->Append({TestRecord(1, i)});
+  g.RunFor(50 * sim::kUsPerMs);
+  std::string leader_bytes, f1_bytes;
+  g.leader->log()->ReadBytes(1, g.leader->log()->current_lsn(),
+                             &leader_bytes);
+  g.f1->log()->ReadBytes(1, g.f1->log()->current_lsn(), &f1_bytes);
+  EXPECT_EQ(leader_bytes, f1_bytes);
+}
+
+TEST(PaxosTest, DlsnRequiresMajorityNotAll) {
+  GroupFixture g;
+  g.RunFor(5 * sim::kUsPerMs);
+  g.net.SetNodeUp(g.f2->node(), false);  // one of three down
+  MtrHandle h = g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(20 * sim::kUsPerMs);
+  EXPECT_GE(g.leader->dlsn(), h.end_lsn) << "leader+f1 are a majority";
+  EXPECT_LT(g.f2->log()->current_lsn(), h.end_lsn);
+}
+
+TEST(PaxosTest, NoDlsnAdvanceWithoutMajority) {
+  GroupFixture g;
+  g.RunFor(5 * sim::kUsPerMs);
+  Lsn before = g.leader->dlsn();
+  g.net.SetNodeUp(g.f1->node(), false);
+  g.net.SetNodeUp(g.f2->node(), false);
+  MtrHandle h = g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(50 * sim::kUsPerMs);
+  EXPECT_LT(g.leader->dlsn(), h.end_lsn);
+  EXPECT_GE(g.leader->dlsn(), before);
+}
+
+TEST(PaxosTest, AsyncCommitterFiresOnDurability) {
+  GroupFixture g;
+  AsyncCommitter committer(g.leader);
+  std::vector<int> completed;
+  MtrHandle h1 = g.leader->Append({TestRecord(1, 1)});
+  committer.Submit(h1.end_lsn, [&] { completed.push_back(1); });
+  MtrHandle h2 = g.leader->Append({TestRecord(2, 2)});
+  committer.Submit(h2.end_lsn, [&] { completed.push_back(2); });
+  EXPECT_TRUE(completed.empty()) << "must not complete before majority ack";
+  g.RunFor(20 * sim::kUsPerMs);
+  EXPECT_EQ(completed, (std::vector<int>{1, 2}));
+  EXPECT_EQ(committer.pending(), 0u);
+}
+
+TEST(PaxosTest, AsyncCommitterImmediateWhenAlreadyDurable) {
+  GroupFixture g;
+  MtrHandle h = g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(20 * sim::kUsPerMs);
+  AsyncCommitter committer(g.leader);
+  bool fired = false;
+  committer.Submit(h.end_lsn, [&] { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(PaxosTest, FollowersApplyOnlyUpToDlsn) {
+  GroupFixture g;
+  std::vector<TxnId> applied;
+  g.f1->SetApplyFn([&](const RedoRecord& rec) {
+    applied.push_back(rec.txn_id);
+  });
+  g.leader->Append({TestRecord(7, 1)});
+  g.RunFor(50 * sim::kUsPerMs);
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied[0], 7u);
+  EXPECT_LE(g.f1->applied_lsn(), g.f1->dlsn());
+}
+
+TEST(PaxosTest, LargeMtrBatchedInto16KbFrames) {
+  PaxosConfig cfg;
+  cfg.max_batch_bytes = 16 * 1024;
+  GroupFixture g(cfg);
+  // ~100 records of ~500 bytes: several frames needed.
+  std::vector<RedoRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    RedoRecord rec = TestRecord(1, i);
+    rec.row[1] = std::string(400, 'x');
+    records.push_back(rec);
+  }
+  uint64_t frames_before = g.leader->frames_sent();
+  MtrHandle h = g.leader->Append(records);
+  g.RunFor(50 * sim::kUsPerMs);
+  uint64_t frames = g.leader->frames_sent() - frames_before;
+  size_t total_bytes = h.end_lsn - h.start_lsn;
+  EXPECT_GE(frames, 2 * (total_bytes / (16 * 1024)));  // 2 followers
+  EXPECT_GE(g.leader->dlsn(), h.end_lsn);
+  // Frame boundaries never split a record: followers can parse everything.
+  std::vector<RedoRecord> parsed;
+  ASSERT_TRUE(
+      g.f1->log()->ReadRecords(1, g.f1->log()->current_lsn(), &parsed).ok());
+  EXPECT_EQ(parsed.size(), 100u);
+}
+
+TEST(PaxosTest, PipeliningBeatsStopAndWait) {
+  // With ~1ms RTT, pipelined replication of N MTRs should converge much
+  // faster than one-frame-at-a-time.
+  auto run = [](bool pipelining) {
+    PaxosConfig cfg;
+    cfg.pipelining = pipelining;
+    cfg.max_batch_bytes = 256;  // force many frames
+    GroupFixture g(cfg);
+    for (int i = 0; i < 50; ++i) g.leader->Append({TestRecord(1, i)});
+    Lsn target = g.leader->log()->current_lsn();
+    while (g.leader->dlsn() < target && g.sched.PendingEvents() > 0) {
+      g.sched.Step();
+    }
+    return g.sched.Now();
+  };
+  sim::SimTime pipelined = run(true);
+  sim::SimTime stop_and_wait = run(false);
+  EXPECT_LT(pipelined * 3, stop_and_wait)
+      << "pipelining must hide propagation delay";
+}
+
+TEST(PaxosTest, ElectsNewLeaderAfterLeaderFailure) {
+  GroupFixture g;
+  MtrHandle h = g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(20 * sim::kUsPerMs);
+  ASSERT_GE(g.leader->dlsn(), h.end_lsn);
+
+  g.net.SetNodeUp(g.leader->node(), false);
+  g.RunFor(2000 * sim::kUsPerMs);
+  PaxosMember* new_leader = g.group->CurrentLeader();
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_NE(new_leader, g.leader);
+  // Committed (durable) entries survive the failover.
+  EXPECT_GE(new_leader->log()->current_lsn(), h.end_lsn);
+  std::vector<RedoRecord> recs;
+  ASSERT_TRUE(new_leader->log()->ReadRecords(1, h.end_lsn, &recs).ok());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].txn_id, 1u);
+}
+
+TEST(PaxosTest, NewLeaderKeepsReplicating) {
+  GroupFixture g;
+  g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(20 * sim::kUsPerMs);
+  g.net.SetNodeUp(g.leader->node(), false);
+  g.RunFor(2000 * sim::kUsPerMs);
+  PaxosMember* new_leader = g.group->CurrentLeader();
+  ASSERT_NE(new_leader, nullptr);
+  MtrHandle h2 = new_leader->Append({TestRecord(2, 2)});
+  g.RunFor(2000 * sim::kUsPerMs);
+  EXPECT_GE(new_leader->dlsn(), h2.end_lsn)
+      << "two survivors still form a majority";
+}
+
+TEST(PaxosTest, DeposedLeaderTruncatesUnackedSuffix) {
+  GroupFixture g;
+  MtrHandle durable = g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(20 * sim::kUsPerMs);
+
+  // Partition the leader, then write into the void (never majority-acked).
+  g.net.SetNodeUp(g.leader->node(), false);
+  MtrHandle lost = g.leader->Append({TestRecord(99, 99)});
+  EXPECT_GT(g.leader->log()->current_lsn(), durable.end_lsn);
+
+  g.RunFor(2000 * sim::kUsPerMs);
+  PaxosMember* new_leader = g.group->CurrentLeader();
+  ASSERT_NE(new_leader, nullptr);
+  MtrHandle h2 = new_leader->Append({TestRecord(2, 2)});
+  g.RunFor(2000 * sim::kUsPerMs);
+  ASSERT_GE(new_leader->dlsn(), h2.end_lsn);
+
+  // Old leader rejoins: must drop the unacked suffix and converge.
+  g.net.SetNodeUp(g.leader->node(), true);
+  g.leader->Recover();
+  g.RunFor(5000 * sim::kUsPerMs);
+  EXPECT_EQ(g.leader->log()->current_lsn(),
+            new_leader->log()->current_lsn());
+  std::string a, b;
+  g.leader->log()->ReadBytes(durable.end_lsn, g.leader->log()->current_lsn(),
+                             &a);
+  new_leader->log()->ReadBytes(durable.end_lsn,
+                               new_leader->log()->current_lsn(), &b);
+  EXPECT_EQ(a, b) << "diverged suffix must be replaced, txn 99 gone";
+  std::vector<RedoRecord> recs;
+  ASSERT_TRUE(
+      g.leader->log()->ReadRecords(1, g.leader->log()->current_lsn(), &recs)
+          .ok());
+  for (const auto& rec : recs) EXPECT_NE(rec.txn_id, 99u);
+  (void)lost;
+}
+
+TEST(PaxosTest, LoggerCountsTowardQuorumButNeverLeads) {
+  GroupFixture g({}, /*third_is_logger=*/true);
+  MtrHandle h = g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(20 * sim::kUsPerMs);
+  EXPECT_GE(g.leader->dlsn(), h.end_lsn);
+
+  // Kill leader AND the data follower: only the logger remains alive; it
+  // must not elect itself.
+  g.net.SetNodeUp(g.leader->node(), false);
+  g.net.SetNodeUp(g.f1->node(), false);
+  g.RunFor(5000 * sim::kUsPerMs);
+  EXPECT_EQ(g.group->CurrentLeader(), nullptr);
+  EXPECT_NE(g.f2->role(), PaxosRole::kLeader);
+}
+
+TEST(PaxosTest, LoggerQuorumEnablesDurabilityWithOneDataFollowerDown) {
+  GroupFixture g({}, /*third_is_logger=*/true);
+  g.RunFor(5 * sim::kUsPerMs);
+  g.net.SetNodeUp(g.f1->node(), false);  // data follower down
+  MtrHandle h = g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(20 * sim::kUsPerMs);
+  EXPECT_GE(g.leader->dlsn(), h.end_lsn)
+      << "leader + logger form a majority";
+}
+
+TEST(PaxosTest, SurvivesSingleDcDisaster) {
+  GroupFixture g;
+  MtrHandle h = g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(20 * sim::kUsPerMs);
+  // Entire DC0 (the leader's datacenter) goes dark.
+  g.net.SetDcUp(0, false);
+  g.RunFor(3000 * sim::kUsPerMs);
+  PaxosMember* new_leader = g.group->CurrentLeader();
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_GE(new_leader->log()->current_lsn(), h.end_lsn)
+      << "entries below DLSN survive a datacenter disaster";
+  MtrHandle h2 = new_leader->Append({TestRecord(2, 2)});
+  g.RunFor(3000 * sim::kUsPerMs);
+  EXPECT_GE(new_leader->dlsn(), h2.end_lsn);
+}
+
+TEST(PaxosTest, StableLeaderNeverDeposedWithoutFailure) {
+  GroupFixture g;
+  for (int i = 0; i < 20; ++i) {
+    g.leader->Append({TestRecord(1, i)});
+    g.RunFor(100 * sim::kUsPerMs);
+  }
+  EXPECT_EQ(g.group->CurrentLeader(), g.leader);
+  EXPECT_EQ(g.f1->elections_started(), 0u);
+  EXPECT_EQ(g.f2->elections_started(), 0u);
+}
+
+TEST(PaxosTest, HeartbeatsPropagateDlsnToFollowers) {
+  GroupFixture g;
+  MtrHandle h = g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(200 * sim::kUsPerMs);  // several heartbeat periods
+  EXPECT_GE(g.f1->dlsn(), h.end_lsn);
+  EXPECT_GE(g.f2->dlsn(), h.end_lsn);
+}
+
+}  // namespace
+}  // namespace polarx

@@ -1,0 +1,215 @@
+// Tests for the PolarFS model: chunk provisioning/placement, volume writes
+// fanning to replicas, the PageStore adapter, and ParallelRaft's
+// out-of-order acknowledgment rules.
+#include <gtest/gtest.h>
+
+#include "src/polarfs/parallel_raft.h"
+#include "src/polarfs/polarfs.h"
+
+namespace polarx {
+namespace {
+
+PolarFsOptions SmallChunks() {
+  PolarFsOptions o;
+  o.chunk_size_bytes = 1 << 20;  // 1 MB chunks for tests
+  o.replicas_per_chunk = 3;
+  return o;
+}
+
+TEST(PolarFsTest, VolumeNeedsEnoughServers) {
+  PolarFs fs(SmallChunks());
+  fs.AddChunkServer();
+  fs.AddChunkServer();
+  EXPECT_FALSE(fs.CreateVolume().ok());
+  fs.AddChunkServer();
+  EXPECT_TRUE(fs.CreateVolume().ok());
+}
+
+TEST(PolarFsTest, ChunksProvisionedOnDemand) {
+  PolarFs fs(SmallChunks());
+  for (int i = 0; i < 4; ++i) fs.AddChunkServer();
+  auto vol = fs.CreateVolume();
+  ASSERT_TRUE(vol.ok());
+  EXPECT_EQ((*vol)->num_chunks(), 0u);
+  // A write beyond the current size grows the volume.
+  ASSERT_TRUE(fs.Write((*vol)->id(), 0, 100).ok());
+  EXPECT_EQ((*vol)->num_chunks(), 1u);
+  ASSERT_TRUE(fs.Write((*vol)->id(), (3 << 20) - 10, 20).ok());
+  EXPECT_EQ((*vol)->num_chunks(), 4u) << "write spanning into 4th MB";
+}
+
+TEST(PolarFsTest, EachChunkHasThreeReplicas) {
+  PolarFs fs(SmallChunks());
+  for (int i = 0; i < 5; ++i) fs.AddChunkServer();
+  auto vol = fs.CreateVolume();
+  ASSERT_TRUE(vol.ok());
+  ASSERT_TRUE(fs.Write((*vol)->id(), 0, 1).ok());
+  for (const auto& [id, info] : fs.chunks()) {
+    EXPECT_EQ(info.replicas.size(), 3u);
+  }
+}
+
+TEST(PolarFsTest, PlacementBalancesAcrossServers) {
+  PolarFs fs(SmallChunks());
+  for (int i = 0; i < 6; ++i) fs.AddChunkServer();
+  auto vol = fs.CreateVolume();
+  ASSERT_TRUE(vol.ok());
+  // 12 chunks * 3 replicas over 6 servers => 6 replicas each.
+  ASSERT_TRUE(fs.Write((*vol)->id(), 0, 12ULL << 20).ok());
+  for (const auto& server : fs.servers()) {
+    EXPECT_EQ(server->NumReplicas(), 6u) << "server " << server->id();
+  }
+}
+
+TEST(PolarFsTest, WriteFansOutToAllReplicas) {
+  PolarFs fs(SmallChunks());
+  for (int i = 0; i < 3; ++i) fs.AddChunkServer();
+  auto vol = fs.CreateVolume();
+  ASSERT_TRUE(vol.ok());
+  ASSERT_TRUE(fs.Write((*vol)->id(), 0, 1000).ok());
+  // 3 servers each hold one replica of the single chunk: 1000 bytes each.
+  for (const auto& server : fs.servers()) {
+    EXPECT_EQ(server->bytes_stored(), 1000u);
+  }
+  EXPECT_EQ(fs.total_bytes_written(), 1000u);
+}
+
+TEST(PolarFsTest, CrossChunkWriteSplits) {
+  PolarFs fs(SmallChunks());
+  for (int i = 0; i < 3; ++i) fs.AddChunkServer();
+  auto vol = fs.CreateVolume();
+  ASSERT_TRUE(vol.ok());
+  uint64_t chunk = 1 << 20;
+  ASSERT_TRUE(fs.Write((*vol)->id(), chunk - 100, 200).ok());
+  EXPECT_EQ((*vol)->num_chunks(), 2u);
+  uint64_t sum = 0;
+  for (const auto& [id, info] : fs.chunks()) sum += info.bytes_written;
+  EXPECT_EQ(sum, 200u);
+}
+
+TEST(PolarFsTest, CheckReadBounds) {
+  PolarFs fs(SmallChunks());
+  for (int i = 0; i < 3; ++i) fs.AddChunkServer();
+  auto vol = fs.CreateVolume();
+  ASSERT_TRUE(vol.ok());
+  ASSERT_TRUE(fs.Write((*vol)->id(), 0, 100).ok());
+  EXPECT_TRUE(fs.CheckRead((*vol)->id(), 0, 1 << 20).ok());
+  EXPECT_FALSE(fs.CheckRead((*vol)->id(), 0, (1 << 20) + 1).ok());
+  EXPECT_FALSE(fs.CheckRead(999, 0, 1).ok());
+}
+
+TEST(PolarFsTest, PageStoreAdapterWritesVolume) {
+  PolarFs fs(SmallChunks());
+  for (int i = 0; i < 3; ++i) fs.AddChunkServer();
+  auto vol = fs.CreateVolume();
+  ASSERT_TRUE(vol.ok());
+  PolarFsPageStore store(&fs, (*vol)->id());
+  BufferPool pool(&store);
+  pool.MarkDirty(MakePageId(1, 5), 100);
+  pool.FlushUpTo(1000);
+  EXPECT_EQ(store.pages_written(), 1u);
+  EXPECT_GT(fs.total_bytes_written(), 0u);
+}
+
+// ---------- ParallelRaft ----------
+
+TEST(ParallelRaftTest, InOrderDeliveryAcksImmediately) {
+  ParallelRaftLeader leader;
+  uint64_t i1 = leader.Append(0, 8);
+  uint64_t i2 = leader.Append(100, 8);
+  EXPECT_TRUE(leader.IsCommitted(i1));
+  EXPECT_TRUE(leader.IsCommitted(i2));
+  EXPECT_EQ(leader.follower(0)->in_order_acks(), 2u);
+  EXPECT_EQ(leader.follower(0)->out_of_order_acks(), 0u);
+}
+
+TEST(ParallelRaftTest, OutOfOrderNonOverlappingAcks) {
+  // Drop entry 1 to follower 0; entry 2 (disjoint LBA) must still be acked
+  // out of order — the heart of ParallelRaft.
+  ParallelRaftLeader leader;
+  std::vector<PrEntry> held;
+  bool drop_next = true;
+  leader.SetDelivery(0, [&](const PrEntry& e) {
+    if (drop_next) {
+      drop_next = false;
+      held.push_back(e);
+      return false;
+    }
+    return leader.follower(0)->Receive(e);
+  });
+  uint64_t i1 = leader.Append(0, 8);     // dropped to follower 0
+  uint64_t i2 = leader.Append(1000, 8);  // disjoint: acked out of order
+  EXPECT_TRUE(leader.follower(0)->Has(i2));
+  EXPECT_FALSE(leader.follower(0)->Has(i1));
+  EXPECT_EQ(leader.follower(0)->out_of_order_acks(), 1u);
+  // Both committed: follower 1 plus leader form a majority for i1; i2 has
+  // all three.
+  EXPECT_TRUE(leader.IsCommitted(i1));
+  EXPECT_TRUE(leader.IsCommitted(i2));
+  // Late redelivery of the hole.
+  EXPECT_TRUE(leader.follower(0)->Receive(held[0]));
+  EXPECT_EQ(leader.follower(0)->contiguous_index(), 2u);
+}
+
+TEST(ParallelRaftTest, OverlappingHoleBlocksAck) {
+  // Entry 2 overlaps missing entry 1's blocks: follower must NOT ack it
+  // until the hole is filled.
+  ParallelRaftLeader leader;
+  std::vector<PrEntry> held;
+  bool drop_next = true;
+  leader.SetDelivery(0, [&](const PrEntry& e) {
+    if (drop_next) {
+      drop_next = false;
+      held.push_back(e);
+      return false;
+    }
+    return leader.follower(0)->Receive(e);
+  });
+  uint64_t i1 = leader.Append(0, 8);  // dropped
+  uint64_t i2 = leader.Append(4, 8);  // overlaps blocks [4,8) of entry 1
+  EXPECT_FALSE(leader.follower(0)->Has(i2)) << "conflicting hole must block";
+  // Filling the hole releases the pending entry automatically.
+  EXPECT_TRUE(leader.follower(0)->Receive(held[0]));
+  EXPECT_TRUE(leader.follower(0)->Has(i1));
+  EXPECT_TRUE(leader.follower(0)->Has(i2));
+  EXPECT_EQ(leader.follower(0)->contiguous_index(), 2u);
+}
+
+TEST(ParallelRaftTest, LookBehindWindowBoundsReordering) {
+  ParallelRaftOptions opts;
+  opts.look_behind = 2;
+  ParallelRaftLeader leader(opts);
+  int dropped = 0;
+  std::vector<PrEntry> held;
+  leader.SetDelivery(0, [&](const PrEntry& e) {
+    if (dropped < 3) {
+      ++dropped;
+      held.push_back(e);
+      return false;
+    }
+    return leader.follower(0)->Receive(e);
+  });
+  for (int i = 0; i < 3; ++i) leader.Append(uint64_t(i) * 100, 8);
+  // Entry 4 is 3 positions beyond the contiguous point with window 2:
+  // cannot validate, must be refused.
+  uint64_t i4 = leader.Append(9999, 8);
+  EXPECT_FALSE(leader.follower(0)->Has(i4));
+}
+
+TEST(ParallelRaftTest, MajorityCommitWithOneFollowerDown) {
+  ParallelRaftLeader leader;
+  leader.SetDelivery(1, [](const PrEntry&) { return false; });  // f1 dead
+  uint64_t idx = leader.Append(0, 8);
+  EXPECT_TRUE(leader.IsCommitted(idx)) << "leader + follower 0 = majority";
+}
+
+TEST(ParallelRaftTest, NoCommitWithoutMajority) {
+  ParallelRaftLeader leader;
+  leader.SetDelivery(0, [](const PrEntry&) { return false; });
+  leader.SetDelivery(1, [](const PrEntry&) { return false; });
+  uint64_t idx = leader.Append(0, 8);
+  EXPECT_FALSE(leader.IsCommitted(idx));
+}
+
+}  // namespace
+}  // namespace polarx

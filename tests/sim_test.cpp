@@ -1,0 +1,200 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/resource.h"
+#include "src/sim/scheduler.h"
+
+namespace polarx::sim {
+namespace {
+
+TEST(SchedulerTest, EventsFireInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(30, [&] { order.push_back(3); });
+  sched.ScheduleAt(10, [&] { order.push_back(1); });
+  sched.ScheduleAt(20, [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), 30u);
+}
+
+TEST(SchedulerTest, SameTimeIsFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, HandlersCanScheduleMoreEvents) {
+  Scheduler sched;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sched.ScheduleAfter(10, chain);
+  };
+  sched.ScheduleAfter(10, chain);
+  sched.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sched.Now(), 50u);
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+  Scheduler sched;
+  sched.ScheduleAt(100, [] {});
+  sched.Run();
+  bool ran = false;
+  sched.ScheduleAt(50, [&] { ran = true; });  // in the past
+  sched.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sched.Now(), 100u);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  sched.ScheduleAt(10, [&] { ++fired; });
+  sched.ScheduleAt(20, [&] { ++fired; });
+  sched.ScheduleAt(30, [&] { ++fired; });
+  sched.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.Now(), 20u);
+  EXPECT_EQ(sched.PendingEvents(), 1u);
+  sched.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesTimeWithoutEvents) {
+  Scheduler sched;
+  sched.RunUntil(1000);
+  EXPECT_EQ(sched.Now(), 1000u);
+}
+
+TEST(NetworkTest, IntraDcFasterThanInterDc) {
+  Scheduler sched;
+  NetworkConfig cfg;
+  cfg.jitter = 0;
+  Network net(&sched, cfg);
+  NodeId a = net.AddNode(0), b = net.AddNode(0), c = net.AddNode(1);
+  SimTime t_ab = 0, t_ac = 0;
+  net.Send(a, b, 0, [&] { t_ab = sched.Now(); });
+  net.Send(a, c, 0, [&] { t_ac = sched.Now(); });
+  sched.Run();
+  EXPECT_EQ(t_ab, cfg.intra_dc_one_way_us);
+  EXPECT_EQ(t_ac, cfg.inter_dc_one_way_us);
+}
+
+TEST(NetworkTest, PayloadSizeAddsTransmissionDelay) {
+  Scheduler sched;
+  NetworkConfig cfg;
+  cfg.jitter = 0;
+  cfg.bytes_per_us = 100;
+  Network net(&sched, cfg);
+  NodeId a = net.AddNode(0), b = net.AddNode(0);
+  SimTime small = 0, large = 0;
+  net.Send(a, b, 0, [&] { small = sched.Now(); });
+  sched.Run();
+  net.Send(a, b, 100000, [&] { large = sched.Now() - small; });
+  sched.Run();
+  EXPECT_EQ(large, cfg.intra_dc_one_way_us + 1000);
+}
+
+TEST(NetworkTest, DownNodeDropsMessages) {
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(0);
+  net.SetNodeUp(b, false);
+  bool delivered = false;
+  net.Send(a, b, 0, [&] { delivered = true; });
+  sched.Run();
+  EXPECT_FALSE(delivered);
+
+  net.SetNodeUp(b, true);
+  net.Send(a, b, 0, [&] { delivered = true; });
+  sched.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkTest, CrashWhileInFlightDropsDelivery) {
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(1);
+  bool delivered = false;
+  net.Send(a, b, 0, [&] { delivered = true; });
+  // Crash b before the message arrives.
+  sched.ScheduleAt(1, [&] { net.SetNodeUp(b, false); });
+  sched.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(NetworkTest, DcOutageDisablesAllItsNodes) {
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(1), c = net.AddNode(1);
+  net.SetDcUp(1, false);
+  EXPECT_TRUE(net.IsNodeUp(a));
+  EXPECT_FALSE(net.IsNodeUp(b));
+  EXPECT_FALSE(net.IsNodeUp(c));
+  int delivered = 0;
+  net.Send(a, b, 0, [&] { ++delivered; });
+  net.Send(b, c, 0, [&] { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(NetworkTest, CountsTraffic) {
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(0);
+  net.Send(a, b, 100, [] {});
+  net.Send(a, b, 200, [] {});
+  sched.Run();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 300u);
+}
+
+TEST(ServerTest, LimitsConcurrency) {
+  Scheduler sched;
+  Server server(&sched, 2);
+  std::vector<SimTime> finish;
+  for (int i = 0; i < 4; ++i) {
+    server.Execute(100, [&] { finish.push_back(sched.Now()); });
+  }
+  sched.Run();
+  ASSERT_EQ(finish.size(), 4u);
+  // Two at t=100, the queued two at t=200.
+  EXPECT_EQ(finish[0], 100u);
+  EXPECT_EQ(finish[1], 100u);
+  EXPECT_EQ(finish[2], 200u);
+  EXPECT_EQ(finish[3], 200u);
+}
+
+TEST(ServerTest, TracksBusyTime) {
+  Scheduler sched;
+  Server server(&sched, 1);
+  server.Execute(30, [] {});
+  server.Execute(70, [] {});
+  sched.Run();
+  EXPECT_EQ(server.busy_time_us(), 100u);
+  EXPECT_EQ(server.busy_cores(), 0u);
+}
+
+TEST(ServerTest, WorkSubmittedFromCompletionRuns) {
+  Scheduler sched;
+  Server server(&sched, 1);
+  bool second_done = false;
+  server.Execute(10, [&] {
+    server.Execute(10, [&] { second_done = true; });
+  });
+  sched.Run();
+  EXPECT_TRUE(second_done);
+  EXPECT_EQ(sched.Now(), 20u);
+}
+
+}  // namespace
+}  // namespace polarx::sim

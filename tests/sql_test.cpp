@@ -1,0 +1,171 @@
+// Tests for the mini-SQL front end: DDL, DML, queries with filters,
+// aggregates, ordering, and explicit transactions with snapshot isolation.
+#include <gtest/gtest.h>
+
+#include "src/sql/sql.h"
+#include "src/storage/buffer_pool.h"
+
+namespace polarx::sql {
+namespace {
+
+struct SqlFixture {
+  uint64_t now_ms = 1000;
+  TableCatalog catalog;
+  Hlc hlc;
+  RedoLog log;
+  CountingPageStore store;
+  BufferPool pool;
+  TxnEngine engine;
+  Session session;
+
+  SqlFixture()
+      : hlc([this] { return now_ms; }),
+        pool(&store),
+        engine(1, &catalog, &hlc, &log, &pool),
+        session(&engine) {}
+
+  SqlResult Must(const std::string& stmt) {
+    auto result = session.Execute(stmt);
+    EXPECT_TRUE(result.ok()) << stmt << " -> "
+                             << result.status().ToString();
+    now_ms += 1;
+    return result.ok() ? *result : SqlResult{};
+  }
+};
+
+TEST(SqlTest, CreateInsertSelect) {
+  SqlFixture f;
+  f.Must("CREATE TABLE users (id BIGINT PRIMARY KEY, name VARCHAR(32), "
+         "age BIGINT)");
+  f.Must("INSERT INTO users VALUES (1, 'alice', 30), (2, 'bob', 25), "
+         "(3, 'carol', 35)");
+  SqlResult r = f.Must("SELECT * FROM users");
+  EXPECT_EQ(r.columns,
+            (std::vector<std::string>{"id", "name", "age"}));
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST(SqlTest, WhereAndProjection) {
+  SqlFixture f;
+  f.Must("CREATE TABLE t (id BIGINT PRIMARY KEY, v DOUBLE)");
+  f.Must("INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5), (4, 4.5)");
+  SqlResult r = f.Must("SELECT v FROM t WHERE id >= 2 AND v < 4.0");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"v"}));
+}
+
+TEST(SqlTest, LikePatterns) {
+  SqlFixture f;
+  f.Must("CREATE TABLE p (id BIGINT PRIMARY KEY, name VARCHAR(64))");
+  f.Must("INSERT INTO p VALUES (1, 'PROMO STEEL'), (2, 'ECONOMY BRASS'), "
+         "(3, 'PROMO TIN')");
+  EXPECT_EQ(f.Must("SELECT id FROM p WHERE name LIKE 'PROMO%'").rows.size(),
+            2u);
+  EXPECT_EQ(f.Must("SELECT id FROM p WHERE name LIKE '%BRASS%'").rows.size(),
+            1u);
+}
+
+TEST(SqlTest, AggregatesAndGroupBy) {
+  SqlFixture f;
+  f.Must("CREATE TABLE sales (id BIGINT PRIMARY KEY, region VARCHAR(8), "
+         "amount DOUBLE)");
+  f.Must("INSERT INTO sales VALUES (1, 'east', 10.0), (2, 'east', 20.0), "
+         "(3, 'west', 5.0)");
+  SqlResult total = f.Must("SELECT COUNT(*), SUM(amount), AVG(amount), "
+                           "MIN(amount), MAX(amount) FROM sales");
+  ASSERT_EQ(total.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(total.rows[0][0]), 3);
+  EXPECT_DOUBLE_EQ(std::get<double>(total.rows[0][1]), 35.0);
+  EXPECT_NEAR(std::get<double>(total.rows[0][2]), 35.0 / 3, 1e-9);
+  EXPECT_DOUBLE_EQ(std::get<double>(total.rows[0][3]), 5.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(total.rows[0][4]), 20.0);
+
+  SqlResult grouped = f.Must(
+      "SELECT region, SUM(amount) FROM sales GROUP BY region "
+      "ORDER BY region");
+  ASSERT_EQ(grouped.rows.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(grouped.rows[0][0]), "east");
+  EXPECT_DOUBLE_EQ(std::get<double>(grouped.rows[0][1]), 30.0);
+}
+
+TEST(SqlTest, OrderByAndLimit) {
+  SqlFixture f;
+  f.Must("CREATE TABLE n (id BIGINT PRIMARY KEY, v BIGINT)");
+  f.Must("INSERT INTO n VALUES (1, 30), (2, 10), (3, 20)");
+  SqlResult r = f.Must("SELECT id, v FROM n ORDER BY v DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][1]), 30);
+  EXPECT_EQ(std::get<int64_t>(r.rows[1][1]), 20);
+}
+
+TEST(SqlTest, UpdateAndDelete) {
+  SqlFixture f;
+  f.Must("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)");
+  f.Must("INSERT INTO t VALUES (1, 1), (2, 2), (3, 3)");
+  SqlResult u = f.Must("UPDATE t SET v = 100 WHERE id >= 2");
+  EXPECT_EQ(u.affected_rows, 2u);
+  SqlResult d = f.Must("DELETE FROM t WHERE v = 100");
+  EXPECT_EQ(d.affected_rows, 2u);
+  EXPECT_EQ(f.Must("SELECT * FROM t").rows.size(), 1u);
+}
+
+TEST(SqlTest, ExplicitTransactionCommitAndRollback) {
+  SqlFixture f;
+  f.Must("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)");
+  f.Must("BEGIN");
+  EXPECT_TRUE(f.session.in_transaction());
+  f.Must("INSERT INTO t VALUES (1, 1)");
+  f.Must("COMMIT");
+  EXPECT_FALSE(f.session.in_transaction());
+  EXPECT_EQ(f.Must("SELECT * FROM t").rows.size(), 1u);
+
+  f.Must("BEGIN");
+  f.Must("INSERT INTO t VALUES (2, 2)");
+  f.Must("ROLLBACK");
+  EXPECT_EQ(f.Must("SELECT * FROM t").rows.size(), 1u)
+      << "rolled-back insert must vanish";
+}
+
+TEST(SqlTest, SnapshotIsolationAcrossSessions) {
+  SqlFixture f;
+  f.Must("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)");
+  f.Must("INSERT INTO t VALUES (1, 10)");
+  // Session 2 opens a transaction (fixing its snapshot)...
+  Session reader(&f.engine);
+  ASSERT_TRUE(reader.Execute("BEGIN").ok());
+  auto before = reader.Execute("SELECT v FROM t WHERE id = 1");
+  ASSERT_TRUE(before.ok());
+  // ...then session 1 updates and commits.
+  f.Must("UPDATE t SET v = 99 WHERE id = 1");
+  auto after = reader.Execute("SELECT v FROM t WHERE id = 1");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(std::get<int64_t>(after->rows[0][0]), 10)
+      << "repeatable read within the transaction";
+  ASSERT_TRUE(reader.Execute("COMMIT").ok());
+}
+
+TEST(SqlTest, ErrorsAreStatusesNotCrashes) {
+  SqlFixture f;
+  EXPECT_FALSE(f.session.Execute("SELECT * FROM missing").ok());
+  EXPECT_FALSE(f.session.Execute("CREATE TABLE x (id BIGINT)").ok())
+      << "primary key required";
+  EXPECT_FALSE(f.session.Execute("DROP DATABASE prod").ok());
+  EXPECT_FALSE(f.session.Execute("COMMIT").ok()) << "no open txn";
+  f.Must("CREATE TABLE t (id BIGINT PRIMARY KEY)");
+  EXPECT_FALSE(f.session.Execute("SELECT nope FROM t").ok());
+  EXPECT_FALSE(f.session.Execute("INSERT INTO t VALUES (1), (1)").ok())
+      << "duplicate key";
+}
+
+TEST(SqlTest, ResultTableRendering) {
+  SqlFixture f;
+  f.Must("CREATE TABLE t (id BIGINT PRIMARY KEY, name VARCHAR(16))");
+  f.Must("INSERT INTO t VALUES (7, 'zaphod')");
+  std::string table = f.Must("SELECT * FROM t").ToString();
+  EXPECT_NE(table.find("zaphod"), std::string::npos);
+  EXPECT_NE(table.find("| id | name"), std::string::npos);
+  EXPECT_NE(table.find("1 row(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace polarx::sql

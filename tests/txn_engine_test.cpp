@@ -1,0 +1,445 @@
+// Tests for the per-DN transaction engine: SI visibility, the PREPARED-wait
+// rule of §IV, conflicts, aborts, and randomized SI invariant properties.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "src/clock/hlc.h"
+#include "src/common/rng.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/key_codec.h"
+#include "src/storage/redo.h"
+#include "src/storage/table.h"
+#include "src/txn/engine.h"
+
+namespace polarx {
+namespace {
+
+struct EngineFixture {
+  uint64_t now_ms = 1000;
+  TableCatalog catalog;
+  Hlc hlc;
+  RedoLog log;
+  CountingPageStore store;
+  BufferPool pool;
+  TxnEngine engine;
+  TableId table_id = 1;
+
+  EngineFixture()
+      : hlc([this] { return now_ms; }),
+        pool(&store),
+        engine(1, &catalog, &hlc, &log, &pool) {
+    Schema schema({{"id", ValueType::kInt64, false},
+                   {"val", ValueType::kString, true}},
+                  {0});
+    catalog.CreateTable(table_id, "kv", schema, 0);
+  }
+
+  EncodedKey Key(int64_t id) { return EncodeKey({id}); }
+  Row MakeRow(int64_t id, const std::string& val) { return {id, val}; }
+
+  // Commits a single-row write in an autocommit transaction.
+  Timestamp Put(int64_t id, const std::string& val) {
+    TxnId txn = engine.Begin();
+    EXPECT_TRUE(engine.Upsert(txn, table_id, MakeRow(id, val)).ok());
+    auto ts = engine.CommitLocal(txn);
+    EXPECT_TRUE(ts.ok());
+    return *ts;
+  }
+
+  std::optional<std::string> Get(int64_t id, Timestamp snapshot = 0) {
+    if (snapshot == 0) snapshot = hlc.Now();
+    Row row;
+    Status s = engine.ReadAt(snapshot, table_id, Key(id), &row);
+    if (!s.ok()) return std::nullopt;
+    return std::get<std::string>(row[1]);
+  }
+};
+
+TEST(TxnEngineTest, InsertCommitRead) {
+  EngineFixture f;
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Insert(txn, f.table_id, f.MakeRow(1, "a")).ok());
+  auto cts = f.engine.CommitLocal(txn);
+  ASSERT_TRUE(cts.ok());
+  EXPECT_EQ(f.Get(1), "a");
+}
+
+TEST(TxnEngineTest, UncommittedWritesInvisibleToOthers) {
+  EngineFixture f;
+  TxnId writer = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Insert(writer, f.table_id, f.MakeRow(1, "a")).ok());
+  EXPECT_EQ(f.Get(1), std::nullopt);  // ACTIVE writer: invisible (§IV case 3)
+  // But visible to the writer itself.
+  Row row;
+  EXPECT_TRUE(f.engine.Read(writer, f.table_id, f.Key(1), &row).ok());
+  ASSERT_TRUE(f.engine.CommitLocal(writer).ok());
+  EXPECT_EQ(f.Get(1), "a");
+}
+
+TEST(TxnEngineTest, SnapshotReadsSeePastNotFuture) {
+  EngineFixture f;
+  Timestamp t1 = f.Put(1, "v1");
+  f.now_ms += 10;
+  Timestamp t2 = f.Put(1, "v2");
+  f.now_ms += 10;
+  EXPECT_EQ(f.Get(1, t1), "v1");
+  EXPECT_EQ(f.Get(1, t2), "v2");
+  EXPECT_EQ(f.Get(1, t2 - 1), "v1");
+  EXPECT_EQ(f.Get(1), "v2");
+}
+
+TEST(TxnEngineTest, RepeatableSnapshotWithinTransaction) {
+  EngineFixture f;
+  f.Put(1, "old");
+  f.now_ms += 5;
+  TxnId reader = f.engine.Begin();
+  Row row;
+  ASSERT_TRUE(f.engine.Read(reader, f.table_id, f.Key(1), &row).ok());
+  EXPECT_EQ(std::get<std::string>(row[1]), "old");
+  f.now_ms += 5;
+  f.Put(1, "new");  // concurrent committed update
+  ASSERT_TRUE(f.engine.Read(reader, f.table_id, f.Key(1), &row).ok());
+  EXPECT_EQ(std::get<std::string>(row[1]), "old") << "snapshot must not move";
+}
+
+TEST(TxnEngineTest, DeleteProducesTombstone) {
+  EngineFixture f;
+  f.Put(1, "a");
+  f.now_ms += 1;
+  Timestamp before = f.hlc.Now();
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Delete(txn, f.table_id, f.Key(1)).ok());
+  ASSERT_TRUE(f.engine.CommitLocal(txn).ok());
+  EXPECT_EQ(f.Get(1), std::nullopt);
+  EXPECT_EQ(f.Get(1, before), "a");  // old snapshot still sees it
+}
+
+TEST(TxnEngineTest, DuplicateInsertRejected) {
+  EngineFixture f;
+  f.Put(1, "a");
+  TxnId txn = f.engine.Begin();
+  Status s = f.engine.Insert(txn, f.table_id, f.MakeRow(1, "b"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TxnEngineTest, WriteWriteConflictOnUncommitted) {
+  EngineFixture f;
+  TxnId t1 = f.engine.Begin();
+  TxnId t2 = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(t1, f.table_id, f.MakeRow(1, "a")).ok());
+  Status s = f.engine.Upsert(t2, f.table_id, f.MakeRow(1, "b"));
+  EXPECT_TRUE(s.IsConflict());
+  EXPECT_EQ(f.engine.stats().conflicts, 1u);
+}
+
+TEST(TxnEngineTest, FirstCommitterWins) {
+  EngineFixture f;
+  f.Put(1, "base");
+  TxnId t1 = f.engine.Begin();
+  TxnId t2 = f.engine.Begin();  // same snapshot era
+  ASSERT_TRUE(f.engine.Upsert(t1, f.table_id, f.MakeRow(1, "a")).ok());
+  ASSERT_TRUE(f.engine.CommitLocal(t1).ok());
+  // t2's snapshot predates t1's commit: lost-update prevention.
+  Status s = f.engine.Upsert(t2, f.table_id, f.MakeRow(1, "b"));
+  EXPECT_TRUE(s.IsConflict());
+}
+
+TEST(TxnEngineTest, AbortRollsBackWritesAndIndexes) {
+  EngineFixture f;
+  f.Put(1, "keep");
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(txn, f.table_id, f.MakeRow(1, "scrap")).ok());
+  ASSERT_TRUE(f.engine.Upsert(txn, f.table_id, f.MakeRow(2, "scrap2")).ok());
+  ASSERT_TRUE(f.engine.Abort(txn).ok());
+  EXPECT_EQ(f.Get(1), "keep");
+  EXPECT_EQ(f.Get(2), std::nullopt);
+  EXPECT_EQ(f.engine.stats().aborted, 1u);
+}
+
+TEST(TxnEngineTest, AbortUnwindsRepeatedWritesToSameKey) {
+  EngineFixture f;
+  f.Put(1, "base");
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(txn, f.table_id, f.MakeRow(1, "x")).ok());
+  ASSERT_TRUE(f.engine.Upsert(txn, f.table_id, f.MakeRow(1, "y")).ok());
+  ASSERT_TRUE(f.engine.Abort(txn).ok());
+  EXPECT_EQ(f.Get(1), "base");
+}
+
+TEST(TxnEngineTest, PreparedBlocksReaderWithLaterSnapshot) {
+  EngineFixture f;
+  f.Put(1, "old");
+  TxnId writer = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(writer, f.table_id, f.MakeRow(1, "new")).ok());
+  auto prep = f.engine.Prepare(writer);
+  ASSERT_TRUE(prep.ok());
+  // Reader whose snapshot >= prepare_ts cannot decide visibility: Busy.
+  Row row;
+  TxnId blocker = kInvalidTxnId;
+  Status s = f.engine.ReadAt(*prep, f.table_id, f.Key(1), &row, &blocker);
+  EXPECT_TRUE(s.IsBusy());
+  EXPECT_EQ(blocker, writer);
+  EXPECT_EQ(f.engine.stats().prepared_waits, 1u);
+  // After commit, the read resolves by timestamp.
+  ASSERT_TRUE(f.engine.Commit(writer, *prep).ok());
+  ASSERT_TRUE(f.engine.ReadAt(*prep, f.table_id, f.Key(1), &row).ok());
+  EXPECT_EQ(std::get<std::string>(row[1]), "new");
+}
+
+TEST(TxnEngineTest, PreparedDoesNotBlockEarlierSnapshot) {
+  // §IV optimization: prepare_ts > snapshot_ts proves invisibility.
+  EngineFixture f;
+  f.Put(1, "old");
+  f.now_ms += 5;
+  Timestamp early_snapshot = f.hlc.Now();
+  f.now_ms += 5;
+  TxnId writer = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(writer, f.table_id, f.MakeRow(1, "new")).ok());
+  ASSERT_TRUE(f.engine.Prepare(writer).ok());
+  Row row;
+  Status s = f.engine.ReadAt(early_snapshot, f.table_id, f.Key(1), &row);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(std::get<std::string>(row[1]), "old");
+  EXPECT_EQ(f.engine.stats().prepared_waits, 0u);
+}
+
+TEST(TxnEngineTest, WaitResolvedUnblocksOnCommit) {
+  EngineFixture f;
+  TxnId writer = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(writer, f.table_id, f.MakeRow(1, "v")).ok());
+  auto prep = f.engine.Prepare(writer);
+  ASSERT_TRUE(prep.ok());
+  std::thread committer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    f.engine.Commit(writer, *prep);
+  });
+  f.engine.WaitResolved(writer);  // must unblock
+  committer.join();
+  auto state = f.engine.StateOf(writer);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, TxnState::kCommitted);
+}
+
+TEST(TxnEngineTest, OnResolvedFiresOnceOnAbort) {
+  EngineFixture f;
+  TxnId writer = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(writer, f.table_id, f.MakeRow(1, "v")).ok());
+  int fired = 0;
+  f.engine.OnResolved(writer, [&] { ++fired; });
+  EXPECT_EQ(fired, 0);
+  ASSERT_TRUE(f.engine.Abort(writer).ok());
+  EXPECT_EQ(fired, 1);
+  // Already resolved: fires immediately.
+  f.engine.OnResolved(writer, [&] { ++fired; });
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TxnEngineTest, CommitIsIdempotent) {
+  EngineFixture f;
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(txn, f.table_id, f.MakeRow(1, "v")).ok());
+  auto prep = f.engine.Prepare(txn);
+  ASSERT_TRUE(prep.ok());
+  ASSERT_TRUE(f.engine.Commit(txn, *prep).ok());
+  EXPECT_TRUE(f.engine.Commit(txn, *prep).ok());
+  EXPECT_EQ(f.engine.stats().committed, 1u);
+}
+
+TEST(TxnEngineTest, CannotWriteAfterPrepare) {
+  EngineFixture f;
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(txn, f.table_id, f.MakeRow(1, "v")).ok());
+  ASSERT_TRUE(f.engine.Prepare(txn).ok());
+  EXPECT_FALSE(f.engine.Upsert(txn, f.table_id, f.MakeRow(2, "w")).ok());
+}
+
+TEST(TxnEngineTest, CannotAbortCommitted) {
+  EngineFixture f;
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(txn, f.table_id, f.MakeRow(1, "v")).ok());
+  ASSERT_TRUE(f.engine.CommitLocal(txn).ok());
+  EXPECT_FALSE(f.engine.Abort(txn).ok());
+}
+
+TEST(TxnEngineTest, CommitTsGoesThroughNodeClock) {
+  // §IV step 7: participants ClockUpdate(commit_ts); later local events must
+  // order after the commit even if the local physical clock lags.
+  EngineFixture f;
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(txn, f.table_id, f.MakeRow(1, "v")).ok());
+  ASSERT_TRUE(f.engine.Prepare(txn).ok());
+  Timestamp remote_commit = hlc_layout::Pack(999999, 3);  // far-future commit
+  ASSERT_TRUE(f.engine.Commit(txn, remote_commit).ok());
+  EXPECT_GE(f.hlc.Now(), remote_commit);
+}
+
+TEST(TxnEngineTest, ScanVisibleSeesSnapshotConsistentSet) {
+  EngineFixture f;
+  for (int64_t i = 0; i < 10; ++i) f.Put(i, "v" + std::to_string(i));
+  f.now_ms += 1;
+  TxnId reader = f.engine.Begin();
+  // New writes after the reader began must not appear.
+  f.Put(100, "late");
+  int count = 0;
+  ASSERT_TRUE(f.engine
+                  .ScanVisible(reader, f.table_id, "", "",
+                               [&](const EncodedKey&, const Row&) {
+                                 ++count;
+                                 return true;
+                               })
+                  .ok());
+  EXPECT_EQ(count, 10);
+}
+
+TEST(TxnEngineTest, ScanRangeRespectsBounds) {
+  EngineFixture f;
+  for (int64_t i = 0; i < 20; ++i) f.Put(i, "v");
+  f.now_ms += 1;
+  TxnId reader = f.engine.Begin();
+  int count = 0;
+  ASSERT_TRUE(f.engine
+                  .ScanVisible(reader, f.table_id, f.Key(5), f.Key(15),
+                               [&](const EncodedKey&, const Row&) {
+                                 ++count;
+                                 return true;
+                               })
+                  .ok());
+  EXPECT_EQ(count, 10);
+}
+
+TEST(TxnEngineTest, SecondaryIndexMaintainedOnCommit) {
+  EngineFixture f;
+  TableStore* table = f.catalog.FindTable(f.table_id);
+  LocalIndex* idx = table->AddIndex("by_val", {1});
+  f.Put(1, "alpha");
+  f.Put(2, "alpha");
+  f.Put(3, "beta");
+  EncodedKey ikey;
+  EncodeValue(Value{std::string("alpha")}, &ikey);
+  EXPECT_EQ(idx->Lookup(ikey, "").size(), 2u);
+}
+
+TEST(TxnEngineTest, VacuumForgetsOldTransactionsButKeepsData) {
+  EngineFixture f;
+  f.Put(1, "a");
+  f.now_ms += 100;
+  Timestamp horizon = f.hlc.Now();
+  f.now_ms += 100;
+  f.Put(1, "b");
+  f.engine.Vacuum(horizon);
+  EXPECT_EQ(f.Get(1), "b");
+}
+
+TEST(TxnEngineTest, RedoStreamRecordsOperations) {
+  EngineFixture f;
+  f.Put(1, "a");
+  std::vector<RedoRecord> recs;
+  ASSERT_TRUE(f.log.ReadRecords(1, f.log.current_lsn(), &recs).ok());
+  // upsert(update) + prepare + commit
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].type, RedoType::kUpdate);
+  EXPECT_EQ(recs[1].type, RedoType::kTxnPrepare);
+  EXPECT_EQ(recs[2].type, RedoType::kTxnCommit);
+  EXPECT_EQ(recs[0].txn_id, recs[2].txn_id);
+}
+
+TEST(TxnEngineTest, WritesDirtyBufferPages) {
+  EngineFixture f;
+  f.Put(1, "a");
+  EXPECT_GE(f.pool.dirty_pages(), 1u);
+  EXPECT_LT(f.pool.MinDirtyLsn(), kMaxLsn);
+}
+
+// ---- randomized SI property test ----
+//
+// N concurrent account rows; random transfer transactions move amounts
+// between them. Under snapshot isolation every read snapshot must observe
+// a constant total balance (transfers are balance-preserving), and the
+// final state must equal the sum of applied transfers.
+class SiPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SiPropertyTest, BalancePreservedUnderConcurrentTransfers) {
+  EngineFixture f;
+  Schema schema({{"id", ValueType::kInt64, false},
+                 {"balance", ValueType::kInt64, false}},
+                {0});
+  const TableId kAccounts = 42;
+  f.catalog.CreateTable(kAccounts, "accounts", schema, 0);
+
+  constexpr int kNumAccounts = 8;
+  constexpr int64_t kInitial = 1000;
+  {
+    TxnId setup = f.engine.Begin();
+    for (int64_t i = 0; i < kNumAccounts; ++i) {
+      ASSERT_TRUE(
+          f.engine.Insert(setup, kAccounts, {i, kInitial}).ok());
+    }
+    ASSERT_TRUE(f.engine.CommitLocal(setup).ok());
+  }
+
+  Rng rng(GetParam());
+  int committed = 0, aborted = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    f.now_ms += 1;
+    if (rng.Bernoulli(0.3)) {
+      // Snapshot audit: total must be exactly preserved.
+      Timestamp snap = f.hlc.Now();
+      int64_t total = 0;
+      for (int64_t i = 0; i < kNumAccounts; ++i) {
+        Row row;
+        Status s = f.engine.ReadAt(snap, kAccounts, EncodeKey({i}), &row);
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        total += std::get<int64_t>(row[1]);
+      }
+      EXPECT_EQ(total, kNumAccounts * kInitial) << "iteration " << iter;
+      continue;
+    }
+    // Random transfer.
+    int64_t from = rng.UniformRange(0, kNumAccounts - 1);
+    int64_t to = rng.UniformRange(0, kNumAccounts - 1);
+    if (from == to) continue;
+    int64_t amount = rng.UniformRange(1, 50);
+    TxnId txn = f.engine.Begin();
+    Row from_row, to_row;
+    Status s = f.engine.Read(txn, kAccounts, EncodeKey({from}), &from_row);
+    ASSERT_TRUE(s.ok());
+    s = f.engine.Read(txn, kAccounts, EncodeKey({to}), &to_row);
+    ASSERT_TRUE(s.ok());
+    Row new_from{from, std::get<int64_t>(from_row[1]) - amount};
+    Row new_to{to, std::get<int64_t>(to_row[1]) + amount};
+    if (!f.engine.Update(txn, kAccounts, new_from).ok() ||
+        !f.engine.Update(txn, kAccounts, new_to).ok()) {
+      f.engine.Abort(txn);
+      ++aborted;
+      continue;
+    }
+    if (f.engine.CommitLocal(txn).ok()) {
+      ++committed;
+    } else {
+      f.engine.Abort(txn);
+      ++aborted;
+    }
+  }
+  EXPECT_GT(committed, 0);
+
+  f.now_ms += 10;
+  Timestamp final_snap = f.hlc.Now();
+  int64_t total = 0;
+  for (int64_t i = 0; i < kNumAccounts; ++i) {
+    Row row;
+    ASSERT_TRUE(
+        f.engine.ReadAt(final_snap, kAccounts, EncodeKey({i}), &row).ok());
+    total += std::get<int64_t>(row[1]);
+  }
+  EXPECT_EQ(total, kNumAccounts * kInitial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SiPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace polarx

@@ -1,0 +1,265 @@
+// Tests for the sysbench generator, TPC-C-lite transactions, and the
+// simulated multi-DC cluster executing sysbench end to end under both
+// HLC-SI and TSO-SI.
+#include <gtest/gtest.h>
+
+#include "src/cn/sim_cluster.h"
+#include "src/workload/sysbench.h"
+#include "src/workload/tpcc.h"
+
+namespace polarx {
+namespace {
+
+// ---------- sysbench ----------
+
+TEST(SysbenchTest, ReadOnlyMix) {
+  Sysbench bench({.mode = SysbenchMode::kReadOnly, .table_size = 1000});
+  Rng rng(1);
+  SysbenchTxn txn = bench.NextTxn(&rng);
+  EXPECT_TRUE(txn.read_only);
+  int points = 0, ranges = 0;
+  for (const auto& op : txn.ops) {
+    points += op.type == SysbenchOp::Type::kPointRead;
+    ranges += op.type == SysbenchOp::Type::kRangeRead;
+  }
+  EXPECT_EQ(points, 10);
+  EXPECT_EQ(ranges, 4);
+}
+
+TEST(SysbenchTest, WriteOnlyMix) {
+  Sysbench bench({.mode = SysbenchMode::kWriteOnly, .table_size = 1000});
+  Rng rng(1);
+  SysbenchTxn txn = bench.NextTxn(&rng);
+  EXPECT_FALSE(txn.read_only);
+  ASSERT_EQ(txn.ops.size(), 4u);
+  // The delete and the re-insert target the same key (sysbench semantics).
+  EXPECT_EQ(txn.ops[2].type, SysbenchOp::Type::kDelete);
+  EXPECT_EQ(txn.ops[3].type, SysbenchOp::Type::kInsert);
+  EXPECT_EQ(txn.ops[2].key, txn.ops[3].key);
+}
+
+TEST(SysbenchTest, KeysWithinTable) {
+  Sysbench bench({.mode = SysbenchMode::kReadWrite, .table_size = 50});
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& op : bench.NextTxn(&rng).ops) {
+      EXPECT_GE(op.key, 1);
+      EXPECT_LE(op.key, 50);
+    }
+  }
+}
+
+// ---------- TPC-C ----------
+
+struct TpccFixture {
+  uint64_t now_ms = 1000;
+  TableCatalog catalog;
+  Hlc hlc;
+  RedoLog log;
+  CountingPageStore store;
+  BufferPool pool;
+  TxnEngine engine;
+  TpccDb db;
+  Rng rng;
+
+  TpccFixture()
+      : hlc([this] { return now_ms; }),
+        pool(&store),
+        engine(1, &catalog, &hlc, &log, &pool),
+        db(&engine, TpccConfig{.warehouses = 2,
+                               .districts_per_warehouse = 3,
+                               .customers_per_district = 20,
+                               .items = 50}),
+        rng(42) {
+    EXPECT_TRUE(db.Load(&rng).ok());
+  }
+};
+
+TEST(TpccTest, NewOrderAdvancesDistrictCounter) {
+  TpccFixture f;
+  for (int i = 0; i < 20; ++i) {
+    f.now_ms += 1;
+    ASSERT_TRUE(f.db.NewOrder(&f.rng).ok());
+  }
+  EXPECT_EQ(f.db.stats().new_orders, 20u);
+  auto total = f.db.TotalOrdersPlaced();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 20);
+}
+
+TEST(TpccTest, PaymentMovesMoneyConsistently) {
+  TpccFixture f;
+  for (int i = 0; i < 30; ++i) {
+    f.now_ms += 1;
+    ASSERT_TRUE(f.db.Payment(&f.rng).ok());
+  }
+  // Invariant: sum(w_ytd) == sum(d_ytd) == total payments amount.
+  f.now_ms += 1;
+  TxnId txn = f.engine.Begin();
+  double w_total = 0, d_total = 0, h_total = 0;
+  f.engine.ScanVisible(txn, f.db.warehouse_table(), "", "",
+                       [&](const EncodedKey&, const Row& r) {
+                         w_total += std::get<double>(r[1]);
+                         return true;
+                       });
+  f.engine.ScanVisible(txn, f.db.district_table(), "", "",
+                       [&](const EncodedKey&, const Row& r) {
+                         d_total += std::get<double>(r[3]);
+                         return true;
+                       });
+  f.engine.ScanVisible(txn, f.db.history_table(), "", "",
+                       [&](const EncodedKey&, const Row& r) {
+                         h_total += std::get<double>(r[4]);
+                         return true;
+                       });
+  f.engine.CommitLocal(txn);
+  EXPECT_NEAR(w_total, d_total, 1e-6);
+  EXPECT_NEAR(w_total, h_total, 1e-6);
+}
+
+TEST(TpccTest, DeliveryClearsNewOrders) {
+  TpccFixture f;
+  for (int i = 0; i < 10; ++i) {
+    f.now_ms += 1;
+    ASSERT_TRUE(f.db.NewOrder(&f.rng).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    f.now_ms += 1;
+    ASSERT_TRUE(f.db.Delivery(&f.rng).ok());
+  }
+  f.now_ms += 1;
+  TxnId txn = f.engine.Begin();
+  int remaining = 0;
+  f.engine.ScanVisible(txn, f.db.new_order_table(), "", "",
+                       [&](const EncodedKey&, const Row&) {
+                         ++remaining;
+                         return true;
+                       });
+  f.engine.CommitLocal(txn);
+  EXPECT_EQ(remaining, 0) << "10 delivery rounds over 2 warehouses clear "
+                             "all pending orders";
+}
+
+TEST(TpccTest, FullMixRunsWithFewAborts) {
+  TpccFixture f;
+  for (int i = 0; i < 300; ++i) {
+    f.now_ms += 1;
+    f.db.RunNext(&f.rng);
+  }
+  const TpccStats& stats = f.db.stats();
+  uint64_t total = stats.new_orders + stats.payments +
+                   stats.order_statuses + stats.deliveries +
+                   stats.stock_levels;
+  EXPECT_GT(total, 250u);
+  EXPECT_GT(stats.new_orders, 80u);   // ~45%
+  EXPECT_GT(stats.payments, 80u);     // ~43%
+  EXPECT_LT(stats.aborts, 50u);
+  auto orders = f.db.TotalOrdersPlaced();
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ(uint64_t(*orders), stats.new_orders);
+}
+
+// ---------- simulated multi-DC cluster ----------
+
+struct SimFixture {
+  sim::Scheduler sched;
+  sim::Network net;
+  std::unique_ptr<SimCluster> cluster;
+
+  explicit SimFixture(TsScheme scheme, uint64_t table_size = 2000)
+      : net(&sched, [] {
+          sim::NetworkConfig nc;
+          nc.jitter = 0;
+          return nc;
+        }()) {
+    SimClusterConfig cfg;
+    cfg.scheme = scheme;
+    cfg.table_size = table_size;
+    cluster = std::make_unique<SimCluster>(&sched, &net, cfg);
+    cluster->LoadSysbenchTable();
+  }
+
+  /// Runs `n` transactions from a closed-loop client on each CN. The sim
+  /// is stepped until all clients finish (Paxos timers keep the event queue
+  /// alive forever, so a drain-the-queue Run() would not terminate).
+  void RunClosedLoop(SysbenchMode mode, int clients, int txns_per_client,
+                     uint64_t seed = 5) {
+    Sysbench bench({.mode = mode, .table_size = 2000});
+    auto rng = std::make_shared<Rng>(seed);
+    auto remaining = std::make_shared<int>(clients * txns_per_client);
+    for (int c = 0; c < clients; ++c) {
+      auto submit = std::make_shared<std::function<void(int)>>();
+      *submit = [this, c, bench, rng, submit, remaining](int left) {
+        if (left <= 0) return;
+        cluster->SubmitTxn(c, bench.NextTxn(rng.get()),
+                           [submit, left, remaining](bool, sim::SimTime) {
+                             --*remaining;
+                             (*submit)(left - 1);
+                           });
+      };
+      (*submit)(txns_per_client);
+    }
+    while (*remaining > 0 && sched.Step()) {
+    }
+    ASSERT_EQ(*remaining, 0) << "simulation stalled";
+  }
+};
+
+class SimClusterSchemeTest : public ::testing::TestWithParam<TsScheme> {};
+
+TEST_P(SimClusterSchemeTest, ReadOnlyTransactionsComplete) {
+  SimFixture f(GetParam());
+  f.RunClosedLoop(SysbenchMode::kReadOnly, 6, 20);
+  EXPECT_EQ(f.cluster->stats().committed, 120u);
+  EXPECT_EQ(f.cluster->stats().aborted, 0u);
+  EXPECT_GT(f.cluster->stats().latency_us.Mean(), 0);
+}
+
+TEST_P(SimClusterSchemeTest, WriteTransactionsCommitAcrossDcs) {
+  SimFixture f(GetParam());
+  f.RunClosedLoop(SysbenchMode::kWriteOnly, 6, 20);
+  const SimClusterStats& stats = f.cluster->stats();
+  EXPECT_GT(stats.committed, 100u) << "some aborts from random conflicts OK";
+  EXPECT_EQ(stats.committed + stats.aborted, 120u);
+  // Write latency includes at least one cross-DC majority round trip
+  // (>= ~1ms RTT).
+  EXPECT_GT(stats.latency_us.Percentile(0.5), 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SimClusterSchemeTest,
+                         ::testing::Values(TsScheme::kHlcSi,
+                                           TsScheme::kTsoSi),
+                         [](const auto& info) {
+                           return info.param == TsScheme::kHlcSi ? "HlcSi"
+                                                                 : "TsoSi";
+                         });
+
+TEST(SimClusterTest, TsoModeCallsTsoTwicePerWriteTxn) {
+  SimFixture f(TsScheme::kTsoSi);
+  f.RunClosedLoop(SysbenchMode::kWriteOnly, 3, 10);
+  uint64_t total = f.cluster->stats().committed + f.cluster->stats().aborted;
+  // snapshot for every txn + commit for committed ones.
+  EXPECT_GE(f.cluster->tso()->requests_served(), total);
+  EXPECT_LE(f.cluster->tso()->requests_served(), 2 * total);
+}
+
+TEST(SimClusterTest, HlcModeNeverTouchesTso) {
+  SimFixture f(TsScheme::kHlcSi);
+  f.RunClosedLoop(SysbenchMode::kReadWrite, 3, 10);
+  EXPECT_EQ(f.cluster->tso()->requests_served(), 0u);
+}
+
+TEST(SimClusterTest, HlcWritesFasterThanTsoAcrossDcs) {
+  // The E1 headline in miniature: with the TSO a cross-DC round trip away
+  // for most CNs, HLC-SI write transactions finish faster on average.
+  SimFixture hlc(TsScheme::kHlcSi);
+  hlc.RunClosedLoop(SysbenchMode::kWriteOnly, 6, 30);
+  SimFixture tso(TsScheme::kTsoSi);
+  tso.RunClosedLoop(SysbenchMode::kWriteOnly, 6, 30);
+  double hlc_mean = hlc.cluster->stats().latency_us.Mean();
+  double tso_mean = tso.cluster->stats().latency_us.Mean();
+  EXPECT_LT(hlc_mean, tso_mean);
+}
+
+}  // namespace
+}  // namespace polarx
