@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_colindex_micro.dir/bench_colindex_micro.cpp.o"
+  "CMakeFiles/bench_colindex_micro.dir/bench_colindex_micro.cpp.o.d"
+  "bench_colindex_micro"
+  "bench_colindex_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_colindex_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

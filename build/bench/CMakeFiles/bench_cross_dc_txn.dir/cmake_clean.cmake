@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cross_dc_txn.dir/bench_cross_dc_txn.cpp.o"
+  "CMakeFiles/bench_cross_dc_txn.dir/bench_cross_dc_txn.cpp.o.d"
+  "bench_cross_dc_txn"
+  "bench_cross_dc_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cross_dc_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

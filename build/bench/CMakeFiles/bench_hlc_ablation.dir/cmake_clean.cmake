@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hlc_ablation.dir/bench_hlc_ablation.cpp.o"
+  "CMakeFiles/bench_hlc_ablation.dir/bench_hlc_ablation.cpp.o.d"
+  "bench_hlc_ablation"
+  "bench_hlc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hlc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpp_colindex.dir/bench_mpp_colindex.cpp.o"
+  "CMakeFiles/bench_mpp_colindex.dir/bench_mpp_colindex.cpp.o.d"
+  "bench_mpp_colindex"
+  "bench_mpp_colindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpp_colindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paxos_ablation.dir/bench_paxos_ablation.cpp.o"
+  "CMakeFiles/bench_paxos_ablation.dir/bench_paxos_ablation.cpp.o.d"
+  "bench_paxos_ablation"
+  "bench_paxos_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paxos_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bank_htap.dir/bank_htap.cpp.o"
+  "CMakeFiles/example_bank_htap.dir/bank_htap.cpp.o.d"
+  "example_bank_htap"
+  "example_bank_htap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bank_htap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_dc_failover.dir/multi_dc_failover.cpp.o"
+  "CMakeFiles/example_multi_dc_failover.dir/multi_dc_failover.cpp.o.d"
+  "example_multi_dc_failover"
+  "example_multi_dc_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_dc_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

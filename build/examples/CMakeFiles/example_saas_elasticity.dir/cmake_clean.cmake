@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_saas_elasticity.dir/saas_elasticity.cpp.o"
+  "CMakeFiles/example_saas_elasticity.dir/saas_elasticity.cpp.o.d"
+  "example_saas_elasticity"
+  "example_saas_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_saas_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

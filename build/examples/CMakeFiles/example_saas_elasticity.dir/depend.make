@@ -1,0 +1,2 @@
+# Empty dependencies file for example_saas_elasticity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sql_demo.dir/sql_demo.cpp.o"
+  "CMakeFiles/example_sql_demo.dir/sql_demo.cpp.o.d"
+  "example_sql_demo"
+  "example_sql_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sql_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

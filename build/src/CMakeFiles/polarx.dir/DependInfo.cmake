@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clock/hlc.cc" "src/CMakeFiles/polarx.dir/clock/hlc.cc.o" "gcc" "src/CMakeFiles/polarx.dir/clock/hlc.cc.o.d"
+  "/root/repo/src/clock/tso.cc" "src/CMakeFiles/polarx.dir/clock/tso.cc.o" "gcc" "src/CMakeFiles/polarx.dir/clock/tso.cc.o.d"
+  "/root/repo/src/cn/sim_cluster.cc" "src/CMakeFiles/polarx.dir/cn/sim_cluster.cc.o" "gcc" "src/CMakeFiles/polarx.dir/cn/sim_cluster.cc.o.d"
+  "/root/repo/src/colindex/column_index.cc" "src/CMakeFiles/polarx.dir/colindex/column_index.cc.o" "gcc" "src/CMakeFiles/polarx.dir/colindex/column_index.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/polarx.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/polarx.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/polarx.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/polarx.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/polarx.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/polarx.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/polarx.dir/common/status.cc.o" "gcc" "src/CMakeFiles/polarx.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/polarx.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/polarx.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/consensus/paxos.cc" "src/CMakeFiles/polarx.dir/consensus/paxos.cc.o" "gcc" "src/CMakeFiles/polarx.dir/consensus/paxos.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/CMakeFiles/polarx.dir/exec/expr.cc.o" "gcc" "src/CMakeFiles/polarx.dir/exec/expr.cc.o.d"
+  "/root/repo/src/exec/memory.cc" "src/CMakeFiles/polarx.dir/exec/memory.cc.o" "gcc" "src/CMakeFiles/polarx.dir/exec/memory.cc.o.d"
+  "/root/repo/src/exec/mpp.cc" "src/CMakeFiles/polarx.dir/exec/mpp.cc.o" "gcc" "src/CMakeFiles/polarx.dir/exec/mpp.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/polarx.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/polarx.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/scheduler.cc" "src/CMakeFiles/polarx.dir/exec/scheduler.cc.o" "gcc" "src/CMakeFiles/polarx.dir/exec/scheduler.cc.o.d"
+  "/root/repo/src/gms/gms.cc" "src/CMakeFiles/polarx.dir/gms/gms.cc.o" "gcc" "src/CMakeFiles/polarx.dir/gms/gms.cc.o.d"
+  "/root/repo/src/htap/router.cc" "src/CMakeFiles/polarx.dir/htap/router.cc.o" "gcc" "src/CMakeFiles/polarx.dir/htap/router.cc.o.d"
+  "/root/repo/src/mt/polardb_mt.cc" "src/CMakeFiles/polarx.dir/mt/polardb_mt.cc.o" "gcc" "src/CMakeFiles/polarx.dir/mt/polardb_mt.cc.o.d"
+  "/root/repo/src/optimizer/cost.cc" "src/CMakeFiles/polarx.dir/optimizer/cost.cc.o" "gcc" "src/CMakeFiles/polarx.dir/optimizer/cost.cc.o.d"
+  "/root/repo/src/partition/partition.cc" "src/CMakeFiles/polarx.dir/partition/partition.cc.o" "gcc" "src/CMakeFiles/polarx.dir/partition/partition.cc.o.d"
+  "/root/repo/src/polarfs/parallel_raft.cc" "src/CMakeFiles/polarx.dir/polarfs/parallel_raft.cc.o" "gcc" "src/CMakeFiles/polarx.dir/polarfs/parallel_raft.cc.o.d"
+  "/root/repo/src/polarfs/polarfs.cc" "src/CMakeFiles/polarx.dir/polarfs/polarfs.cc.o" "gcc" "src/CMakeFiles/polarx.dir/polarfs/polarfs.cc.o.d"
+  "/root/repo/src/replication/redo_applier.cc" "src/CMakeFiles/polarx.dir/replication/redo_applier.cc.o" "gcc" "src/CMakeFiles/polarx.dir/replication/redo_applier.cc.o.d"
+  "/root/repo/src/replication/rw_ro.cc" "src/CMakeFiles/polarx.dir/replication/rw_ro.cc.o" "gcc" "src/CMakeFiles/polarx.dir/replication/rw_ro.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/polarx.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/polarx.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/CMakeFiles/polarx.dir/sim/resource.cc.o" "gcc" "src/CMakeFiles/polarx.dir/sim/resource.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/polarx.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/polarx.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sql/sql.cc" "src/CMakeFiles/polarx.dir/sql/sql.cc.o" "gcc" "src/CMakeFiles/polarx.dir/sql/sql.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/polarx.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/polarx.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/key_codec.cc" "src/CMakeFiles/polarx.dir/storage/key_codec.cc.o" "gcc" "src/CMakeFiles/polarx.dir/storage/key_codec.cc.o.d"
+  "/root/repo/src/storage/mvcc.cc" "src/CMakeFiles/polarx.dir/storage/mvcc.cc.o" "gcc" "src/CMakeFiles/polarx.dir/storage/mvcc.cc.o.d"
+  "/root/repo/src/storage/redo.cc" "src/CMakeFiles/polarx.dir/storage/redo.cc.o" "gcc" "src/CMakeFiles/polarx.dir/storage/redo.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/polarx.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/polarx.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/polarx.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/polarx.dir/storage/value.cc.o.d"
+  "/root/repo/src/txn/distributed.cc" "src/CMakeFiles/polarx.dir/txn/distributed.cc.o" "gcc" "src/CMakeFiles/polarx.dir/txn/distributed.cc.o.d"
+  "/root/repo/src/txn/engine.cc" "src/CMakeFiles/polarx.dir/txn/engine.cc.o" "gcc" "src/CMakeFiles/polarx.dir/txn/engine.cc.o.d"
+  "/root/repo/src/workload/sysbench.cc" "src/CMakeFiles/polarx.dir/workload/sysbench.cc.o" "gcc" "src/CMakeFiles/polarx.dir/workload/sysbench.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/polarx.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/polarx.dir/workload/tpcc.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/CMakeFiles/polarx.dir/workload/tpch.cc.o" "gcc" "src/CMakeFiles/polarx.dir/workload/tpch.cc.o.d"
+  "/root/repo/src/workload/tpch_queries.cc" "src/CMakeFiles/polarx.dir/workload/tpch_queries.cc.o" "gcc" "src/CMakeFiles/polarx.dir/workload/tpch_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

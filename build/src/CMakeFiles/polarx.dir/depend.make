@@ -1,0 +1,2 @@
+# Empty dependencies file for polarx.
+# This may be replaced when dependencies are built.

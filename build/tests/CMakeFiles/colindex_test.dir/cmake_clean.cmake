@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colindex_test.dir/colindex_test.cpp.o"
+  "CMakeFiles/colindex_test.dir/colindex_test.cpp.o.d"
+  "colindex_test"
+  "colindex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_agg_test.dir/column_agg_test.cpp.o"
+  "CMakeFiles/column_agg_test.dir/column_agg_test.cpp.o.d"
+  "column_agg_test"
+  "column_agg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_txn_test.dir/distributed_txn_test.cpp.o"
+  "CMakeFiles/distributed_txn_test.dir/distributed_txn_test.cpp.o.d"
+  "distributed_txn_test"
+  "distributed_txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htap_router_test.dir/htap_router_test.cpp.o"
+  "CMakeFiles/htap_router_test.dir/htap_router_test.cpp.o.d"
+  "htap_router_test"
+  "htap_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htap_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

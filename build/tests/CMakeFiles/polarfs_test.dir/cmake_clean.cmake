@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polarfs_test.dir/polarfs_test.cpp.o"
+  "CMakeFiles/polarfs_test.dir/polarfs_test.cpp.o.d"
+  "polarfs_test"
+  "polarfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polarfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
