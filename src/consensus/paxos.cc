@@ -81,6 +81,7 @@ void PaxosMember::BecomeLeader() {
     PeerProgress p;
     p.next_lsn = end;
     p.match_lsn = 1;
+    p.last_ack_us = group_->scheduler()->Now();
     peers_[m->node()] = p;
   }
   POLARX_INFO("node " << node_ << " becomes leader at epoch " << epoch_);
@@ -89,6 +90,9 @@ void PaxosMember::BecomeLeader() {
 
 void PaxosMember::NotifyNewData() {
   if (role_ != PaxosRole::kLeader) return;
+  // Bytes appended to the leader's log (by Append or by the DN engine
+  // writing redo directly) originate from the leader's current epoch.
+  ExtendSpans(epoch_, log_->current_lsn());
   // Leader's own persistence is modeled by the external appender calling
   // MarkFlushed; here we just push to peers.
   for (auto& [peer, progress] : peers_) ReplicateTo(peer);
@@ -101,7 +105,8 @@ MtrHandle PaxosMember::Append(const std::vector<RedoRecord>& records) {
   group_->scheduler()->ScheduleAfter(
       group_->config().flush_latency_us, [this, h, gen] {
         log_->MarkFlushed(h.end_lsn);
-        if (gen == timer_generation_ && role_ == PaxosRole::kLeader) {
+        if (gen == timer_generation_ && role_ == PaxosRole::kLeader &&
+            group_->network()->IsNodeUp(node_)) {
           RecomputeDlsn();
         }
       });
@@ -112,6 +117,12 @@ MtrHandle PaxosMember::Append(const std::vector<RedoRecord>& records) {
 void PaxosMember::ReplicateTo(NodeId follower) {
   if (role_ != PaxosRole::kLeader) return;
   if (!group_->network()->IsNodeUp(node_)) return;
+  // The DN engine appends redo to our log directly and may only call
+  // NotifyNewData later; an ack-triggered send can reach those bytes
+  // first. They are ours, so claim them for the current epoch before
+  // reading spans — a frame whose payload outruns its spans would leave
+  // the follower with bytes it has no origin info for.
+  ExtendSpans(epoch_, log_->current_lsn());
   const PaxosConfig& cfg = group_->config();
   auto it = peers_.find(follower);
   if (it == peers_.end()) return;
@@ -136,6 +147,9 @@ void PaxosMember::ReplicateTo(NodeId follower) {
     frame.meta.checksum = Crc32(payload.data(), payload.size());
     frame.payload = std::move(payload);
     frame.leader_dlsn = dlsn_;
+    frame.leader_log_end = end;
+    frame.prev_epoch = EpochAt(p.next_lsn - 1);
+    frame.spans = SpansInRange(p.next_lsn, chunk_end);
 
     p.next_lsn = chunk_end;
     ++p.inflight;
@@ -174,58 +188,98 @@ void PaxosMember::HandleAppend(NodeId from, const AppendFrame& frame) {
   }
   last_heard_ = group_->scheduler()->Now();
 
+  // The leader's log holds every committed byte, so a suffix of ours past
+  // its log end is a dead leader's un-acked residue that no frame would
+  // ever overlap — discard it now or the logs can never converge. (A
+  // delayed frame with a stale leader_log_end may chop live bytes here;
+  // that is only wasteful, retransmission re-sends them.)
+  Lsn overhang_floor = std::max(
+      {frame.leader_log_end, dlsn_, log_->purged_before()});
+  if (log_->current_lsn() > overhang_floor) {
+    log_->TruncateTo(overhang_floor);
+    TrimSpans(overhang_floor);
+    NotifyTruncated();
+  }
+
   Lsn expected = log_->current_lsn();
   bool fail = false;
-  bool new_epoch = frame.meta.epoch > last_append_epoch_;
+  Lsn rewind_to = expected;  // where the leader should resend from on failure
   if (frame.meta.range_start > expected) {
     fail = true;  // gap (e.g. out-of-order delivery): leader rewinds to us
-  } else if (frame.meta.range_end <= expected &&
-             frame.meta.range_end > frame.meta.range_start && !new_epoch) {
-    // Same-epoch duplicate: the bytes are already here.
   } else if (Crc32(frame.payload.data(), frame.payload.size()) !=
              frame.meta.checksum) {
     fail = true;
-  } else if (frame.meta.range_start < expected) {
-    if (new_epoch) {
-      // First frame from a new leader overlapping our tail: our suffix may
-      // diverge (it was never majority-acked); replace it.
-      if (frame.meta.range_start < dlsn_) {
+  } else if (frame.meta.range_start > 1 &&
+             frame.meta.range_start - 1 >= log_->purged_before() &&
+             EpochAt(frame.meta.range_start - 1) != frame.prev_epoch) {
+    // Log-matching check failed (Raft's prevLogTerm): the byte before this
+    // range came from a different leader's stream than ours, so our suffix
+    // diverged. Discard everything above our durable watermark — bytes
+    // below it are majority-agreed and must match the leader — and tell
+    // the leader to resend from there.
+    Lsn safe = std::max(dlsn_, log_->purged_before());
+    if (safe < expected) {
+      log_->TruncateTo(safe);
+      TrimSpans(safe);
+      NotifyTruncated();
+    }
+    fail = true;
+    rewind_to = safe;
+  } else {
+    // Prefix verified. Within the overlapped range, find where (if
+    // anywhere) our copy's origin epochs diverge from the frame's: within
+    // one epoch byte streams are identical, so agreeing epochs mean
+    // agreeing bytes, and the first epoch mismatch is where a dead
+    // leader's un-acked suffix starts.
+    Lsn overlap_end = std::min(expected, frame.meta.range_end);
+    Lsn diverge = FirstEpochDivergence(frame, overlap_end);
+    if (diverge < overlap_end) {
+      if (diverge < dlsn_) {
         POLARX_WARN("node " << node_ << " asked to truncate below dlsn");
         fail = true;
       } else {
-        log_->TruncateTo(frame.meta.range_start);
-        log_->AppendRaw(frame.payload);
+        log_->TruncateTo(diverge);
+        TrimSpans(diverge);
+        NotifyTruncated();
+        log_->AppendRaw(
+            frame.payload.substr(diverge - frame.meta.range_start));
+        MergeFrameSpans(frame);
       }
-    } else {
-      // Same-epoch overlap (duplicate/reordered resend): byte streams are
-      // identical within an epoch, so append only the missing suffix.
-      if (frame.meta.range_end > expected) {
-        log_->AppendRaw(frame.payload.substr(expected -
-                                             frame.meta.range_start));
-      }
+    } else if (frame.meta.range_end > expected) {
+      log_->AppendRaw(
+          frame.payload.substr(expected - frame.meta.range_start));
+      MergeFrameSpans(frame);
     }
-  } else if (frame.meta.range_end > frame.meta.range_start) {
-    log_->AppendRaw(frame.payload);
-  }
-  if (!fail && frame.meta.range_end > frame.meta.range_start) {
-    last_append_epoch_ = frame.meta.epoch;
+    // else: duplicate — every byte is already here.
   }
 
   Lsn new_end = log_->current_lsn();
   ack.epoch = epoch_;
   ack.ok = !fail;
-  ack.persisted_lsn = fail ? expected : new_end;
+  // A success ack vouches only for bytes this frame actually verified
+  // (its range, as Raft's matchIndex): our log may extend past range_end
+  // with bytes the leader has not yet compared against its own stream.
+  ack.persisted_lsn = fail ? rewind_to : std::min(new_end, frame.meta.range_end);
 
-  // DLSN can only cover what we locally hold.
-  AdvanceDlsn(std::min(frame.leader_dlsn, new_end));
+  // DLSN can only cover what we locally hold — and only once this frame
+  // verified that our copy matches the leader's stream; on a failed
+  // consistency check our suffix may differ from what the leader counted.
+  if (!fail) AdvanceDlsn(std::min(frame.leader_dlsn, new_end));
 
-  // Persist to PolarFS (flush latency), then ack.
+  // Persist to PolarFS (flush latency), then ack. The ack claims the bytes
+  // up to new_end are durable here — if another leader truncated our log
+  // while the flush was in flight, that claim is stale (the bytes are gone
+  // or replaced) and sending it would let the old leader count phantom
+  // bytes into DLSN; drop it and let retransmission resync.
   NodeId self = node_;
   PaxosGroup* group = group_;
+  uint64_t trunc = truncations_;
   group_->scheduler()->ScheduleAfter(
-      group_->config().flush_latency_us, [group, self, from, ack, new_end] {
+      group_->config().flush_latency_us,
+      [group, self, from, ack, new_end, trunc] {
         PaxosMember* me = group->member(self);
         if (me == nullptr || !group->network()->IsNodeUp(self)) return;
+        if (me->truncations_ != trunc) return;
         me->log_->MarkFlushed(new_end);
         group->network()->Send(self, from, 32, [group, self, from, ack] {
           PaxosMember* leader = group->member(from);
@@ -244,13 +298,18 @@ void PaxosMember::HandleAck(NodeId follower, const AppendAck& ack) {
   auto it = peers_.find(follower);
   if (it == peers_.end()) return;
   PeerProgress& p = it->second;
+  p.last_ack_us = group_->scheduler()->Now();
   if (p.inflight > 0) --p.inflight;
   if (ack.ok) {
     p.match_lsn = std::max(p.match_lsn, ack.persisted_lsn);
     RecomputeDlsn();
   } else {
-    // Rewind to the follower's actual end and retry.
-    p.next_lsn = std::min(ack.persisted_lsn, log_->current_lsn());
+    // Rewind to the follower's actual end and retry. The follower's
+    // position is a record boundary in ITS stream, not necessarily in
+    // ours (its tail may be a dead leader's bytes) — realign down to one
+    // of our own boundaries or ChunkEnd would be framing mid-record.
+    p.next_lsn =
+        log_->BoundaryBefore(std::min(ack.persisted_lsn, log_->current_lsn()));
   }
   ReplicateTo(follower);
 }
@@ -292,7 +351,21 @@ void PaxosMember::ApplyUpTo(Lsn lsn) {
 void PaxosMember::SendHeartbeats() {
   if (role_ != PaxosRole::kLeader) return;
   if (group_->network()->IsNodeUp(node_)) {
+    sim::SimTime now = group_->scheduler()->Now();
+    ExtendSpans(epoch_, log_->current_lsn());  // cover engine-appended bytes
     for (auto& [peer, p] : peers_) {
+      // A peer with frames in flight but no ack for a while lost either
+      // the frames or the acks (lossy link, crash): the inflight window
+      // would otherwise stay leaked forever and replication to that peer
+      // would stall. Resend from its last confirmed position; duplicates
+      // are recognized by the receiver and acked with its real end.
+      if (p.inflight > 0 &&
+          now - p.last_ack_us > group_->config().retransmit_timeout_us) {
+        p.inflight = 0;
+        p.next_lsn = log_->BoundaryBefore(
+            std::min(p.match_lsn, log_->current_lsn()));
+        p.last_ack_us = now;
+      }
       // Data frames double as heartbeats; otherwise send an empty frame
       // carrying the current DLSN.
       if (p.next_lsn < log_->current_lsn()) {
@@ -306,6 +379,8 @@ void PaxosMember::SendHeartbeats() {
       frame.meta.range_end = p.next_lsn;
       frame.meta.checksum = 0;
       frame.leader_dlsn = dlsn_;
+      frame.leader_log_end = log_->current_lsn();
+      frame.prev_epoch = EpochAt(p.next_lsn - 1);
       NodeId self = node_;
       PaxosGroup* group = group_;
       NodeId target = peer;
@@ -328,8 +403,11 @@ void PaxosMember::SendHeartbeats() {
 
 void PaxosMember::ResetElectionTimer() {
   uint64_t gen = ++timer_generation_;
-  // Jitter the timeout per node so elections rarely collide.
-  Rng rng(node_ * 7919 + epoch_ * 104729 + 13);
+  // Jitter the timeout per node AND per retry so elections rarely collide
+  // twice in a row. (Pre-vote keeps epoch_ constant across failed rounds,
+  // so the epoch alone would re-draw the same timeout forever and two
+  // colliding candidates would stay in lockstep.)
+  Rng rng(node_ * 7919 + epoch_ * 104729 + gen * 31 + 13);
   sim::SimTime timeout = group_->config().election_timeout_us;
   timeout += rng.Uniform(timeout);  // [T, 2T)
   group_->scheduler()->ScheduleAfter(
@@ -354,14 +432,42 @@ void PaxosMember::MaybeStartElection(uint64_t timer_generation) {
     ResetElectionTimer();
     return;
   }
-  // Stand for election.
+  // Pre-vote round: probe whether a quorum would elect us before touching
+  // our epoch. A failed real election (still candidate) reverts to
+  // follower and must pass the probe again.
+  if (role_ == PaxosRole::kCandidate) role_ = base_role_;
+  prevote_epoch_ = epoch_ + 1;
+  prevote_granted_by_.clear();
+  prevote_granted_by_.insert(node_);
+  if (prevote_granted_by_.size() >= group_->Quorum()) {
+    StartElection();
+    return;
+  }
+  VoteRequest req{prevote_epoch_, log_->current_lsn(), LastLogEpoch(), true};
+  for (auto& m : group_->members()) {
+    if (m->node() == node_) continue;
+    NodeId self = node_;
+    NodeId target = m->node();
+    PaxosGroup* group = group_;
+    group_->network()->Send(node_, target, 32, [group, self, target, req] {
+      PaxosMember* peer = group->member(target);
+      if (peer != nullptr) peer->HandleVoteRequest(self, req);
+    });
+  }
+  ResetElectionTimer();  // re-probe if this round stalls
+}
+
+void PaxosMember::StartElection() {
+  prevote_epoch_ = 0;
+  prevote_granted_by_.clear();
   role_ = PaxosRole::kCandidate;
   ++epoch_;
   voted_epoch_ = epoch_;
-  votes_received_ = 1;  // self-vote
+  vote_granted_by_.clear();
+  vote_granted_by_.insert(node_);  // self-vote
   ++elections_started_;
   POLARX_INFO("node " << node_ << " starts election for epoch " << epoch_);
-  VoteRequest req{epoch_, log_->current_lsn()};
+  VoteRequest req{epoch_, log_->current_lsn(), LastLogEpoch(), false};
   for (auto& m : group_->members()) {
     if (m->node() == node_) continue;
     NodeId self = node_;
@@ -382,16 +488,40 @@ void PaxosMember::HandleVoteRequest(NodeId from, const VoteRequest& req) {
   bool lease_fresh =
       role_ != PaxosRole::kCandidate &&
       now - last_heard_ < group_->config().election_timeout_us;
+  if (req.prevote) {
+    // Answer the probe without mutating anything: no StepDown, no
+    // voted_epoch_ — several candidates may hold pre-votes for the same
+    // epoch; only the real vote below is binding.
+    bool up_to_date = req.last_log_epoch > LastLogEpoch() ||
+                      (req.last_log_epoch == LastLogEpoch() &&
+                       req.log_end >= log_->current_lsn());
+    granted = req.epoch > epoch_ && !lease_fresh && up_to_date;
+    VoteReply reply{epoch_, granted, true};
+    NodeId self = node_;
+    PaxosGroup* group = group_;
+    group_->network()->Send(node_, from, 32, [group, self, from, reply] {
+      PaxosMember* candidate = group->member(from);
+      if (candidate != nullptr) candidate->HandleVoteReply(self, reply);
+    });
+    return;
+  }
   if (req.epoch > epoch_ && !lease_fresh) {
     StepDown(req.epoch);
-    // Grant only to candidates whose log is at least as complete as ours:
-    // this is what guarantees the new leader holds everything below DLSN.
-    if (voted_epoch_ < req.epoch && req.log_end >= log_->current_lsn()) {
+    // Grant only to candidates whose log is at least as up-to-date as
+    // ours, comparing (last byte's origin epoch, length) — this is what
+    // guarantees the new leader holds everything below DLSN. Raw length
+    // would let a long stale suffix from a dead leader outrank committed
+    // bytes and win.
+    bool up_to_date =
+        req.last_log_epoch > LastLogEpoch() ||
+        (req.last_log_epoch == LastLogEpoch() &&
+         req.log_end >= log_->current_lsn());
+    if (voted_epoch_ < req.epoch && up_to_date) {
       voted_epoch_ = req.epoch;
       granted = true;
     }
   }
-  VoteReply reply{epoch_, granted};
+  VoteReply reply{epoch_, granted, false};
   NodeId self = node_;
   PaxosGroup* group = group_;
   group_->network()->Send(node_, from, 32, [group, self, from, reply] {
@@ -400,8 +530,26 @@ void PaxosMember::HandleVoteRequest(NodeId from, const VoteRequest& req) {
   });
 }
 
-void PaxosMember::HandleVoteReply(NodeId /*from*/, const VoteReply& reply) {
+void PaxosMember::HandleVoteReply(NodeId from, const VoteReply& reply) {
   if (!group_->network()->IsNodeUp(node_)) return;
+  if (reply.prevote) {
+    if (role_ == PaxosRole::kLeader || role_ == PaxosRole::kCandidate ||
+        prevote_epoch_ == 0) {
+      return;  // round is over (we got elected, or moved on)
+    }
+    if (reply.epoch >= prevote_epoch_) {
+      // The voter is already past the epoch we probed for: adopt it and
+      // abandon the round — any grants collected were for a lost cause.
+      epoch_ = reply.epoch;
+      prevote_epoch_ = 0;
+      prevote_granted_by_.clear();
+      return;
+    }
+    if (!reply.granted) return;
+    prevote_granted_by_.insert(from);
+    if (prevote_granted_by_.size() >= group_->Quorum()) StartElection();
+    return;
+  }
   if (reply.epoch > epoch_) {
     StepDown(reply.epoch);
     return;
@@ -410,8 +558,10 @@ void PaxosMember::HandleVoteReply(NodeId /*from*/, const VoteReply& reply) {
       !reply.granted) {
     return;
   }
-  ++votes_received_;
-  if (votes_received_ >= group_->Quorum()) BecomeLeader();
+  // Set-based counting: a duplicated delivery of the same grant must not
+  // manufacture a quorum.
+  vote_granted_by_.insert(from);
+  if (vote_granted_by_.size() >= group_->Quorum()) BecomeLeader();
 }
 
 void PaxosMember::StepDown(uint64_t new_epoch) {
@@ -425,8 +575,10 @@ void PaxosMember::StepDown(uint64_t new_epoch) {
     // §III old-leader cleanup: entries beyond DLSN may not exist on the new
     // leader; discard them (the buffer-pool dirty pages are discarded by
     // the DN wrapper via the same truncation point).
-    log_->TruncateTo(dlsn_);
+    log_->TruncateTo(std::max(dlsn_, log_->purged_before()));
+    TrimSpans(log_->current_lsn());
     POLARX_INFO("node " << node_ << " deposed; truncated to dlsn " << dlsn_);
+    NotifyTruncated();
   }
   ResetElectionTimer();
 }
@@ -434,35 +586,137 @@ void PaxosMember::StepDown(uint64_t new_epoch) {
 void PaxosMember::Recover() {
   role_ = base_role_;
   peers_.clear();
-  // §III: a recovering follower discards un-durable suffix so it never
-  // applies entries beyond DLSN that a new leader may have truncated.
-  log_->TruncateTo(std::max(dlsn_, log_->purged_before()));
+  // §III: the crash loses whatever was not yet flushed to PolarFS, but
+  // persisted bytes survive — they may back an acked commit whose DLSN
+  // advance never reached us, and dropping them could leave the majority
+  // without a copy. Any stale flushed suffix is repaired later by the
+  // log-matching checks.
+  log_->TruncateTo(
+      std::max({dlsn_, log_->flushed_lsn(), log_->purged_before()}));
+  TrimSpans(log_->current_lsn());
+  NotifyTruncated();
   last_heard_ = group_->scheduler()->Now();
   ResetElectionTimer();
+}
+
+void PaxosMember::NotifyTruncated() {
+  ++truncations_;
+  Lsn end = log_->current_lsn();
+  for (auto& fn : truncate_callbacks_) fn(end);
+}
+
+// ------------------------------------------------------- epoch spans --
+
+uint64_t PaxosMember::LastLogEpoch() const {
+  return epoch_spans_.empty() ? 0 : epoch_spans_.back().epoch;
+}
+
+uint64_t PaxosMember::EpochAt(Lsn lsn) const {
+  if (lsn < 1) return 0;
+  for (const auto& s : epoch_spans_) {
+    if (lsn < s.end) return s.epoch;
+  }
+  return 0;
+}
+
+Lsn PaxosMember::SpanEndAt(Lsn lsn) const {
+  for (const auto& s : epoch_spans_) {
+    if (lsn < s.end) return s.end;
+  }
+  return lsn;
+}
+
+void PaxosMember::ExtendSpans(uint64_t epoch, Lsn end) {
+  Lsn have = epoch_spans_.empty() ? 1 : epoch_spans_.back().end;
+  if (end <= have) return;
+  if (!epoch_spans_.empty() && epoch_spans_.back().epoch == epoch) {
+    epoch_spans_.back().end = end;
+  } else {
+    epoch_spans_.push_back({epoch, end});
+  }
+}
+
+void PaxosMember::TrimSpans(Lsn end) {
+  while (!epoch_spans_.empty()) {
+    size_t n = epoch_spans_.size();
+    Lsn start = n > 1 ? epoch_spans_[n - 2].end : 1;
+    if (start >= end) {
+      epoch_spans_.pop_back();
+    } else {
+      if (epoch_spans_.back().end > end) epoch_spans_.back().end = end;
+      break;
+    }
+  }
+}
+
+std::vector<PaxosMember::EpochSpan> PaxosMember::SpansInRange(
+    Lsn from, Lsn to) const {
+  std::vector<EpochSpan> out;
+  for (const auto& s : epoch_spans_) {
+    if (s.end <= from) continue;
+    out.push_back({s.epoch, std::min(s.end, to)});
+    if (s.end >= to) break;
+  }
+  return out;
+}
+
+Lsn PaxosMember::FirstEpochDivergence(const AppendFrame& frame,
+                                      Lsn limit) const {
+  Lsn pos = frame.meta.range_start;
+  size_t fi = 0;
+  while (pos < limit) {
+    while (fi < frame.spans.size() && frame.spans[fi].end <= pos) ++fi;
+    if (fi == frame.spans.size()) break;  // no origin info: stop comparing
+    uint64_t mine = EpochAt(pos);
+    if (mine != frame.spans[fi].epoch) return pos;
+    pos = std::min({frame.spans[fi].end, SpanEndAt(pos), limit});
+  }
+  return limit;
+}
+
+void PaxosMember::MergeFrameSpans(const AppendFrame& frame) {
+  Lsn end = log_->current_lsn();
+  for (const auto& s : frame.spans) {
+    ExtendSpans(s.epoch, std::min(s.end, end));
+  }
 }
 
 // ----------------------------------------------------- async committer --
 
 AsyncCommitter::AsyncCommitter(PaxosMember* member) : member_(member) {
   member_->OnDlsnAdvance([this](Lsn dlsn) { OnDlsn(dlsn); });
+  member_->OnTruncate([this](Lsn new_end) { OnTruncated(new_end); });
 }
 
-void AsyncCommitter::Submit(Lsn end_lsn, std::function<void()> done) {
+void AsyncCommitter::Submit(Lsn end_lsn, std::function<void()> done,
+                            std::function<void()> failed) {
   if (member_->dlsn() >= end_lsn) {
     ++completed_;
     done();
     return;
   }
-  pending_.emplace(end_lsn, std::move(done));
+  pending_.emplace(end_lsn, Waiter{std::move(done), std::move(failed)});
 }
 
 void AsyncCommitter::OnDlsn(Lsn dlsn) {
   auto end = pending_.upper_bound(dlsn);
   for (auto it = pending_.begin(); it != end; ++it) {
     ++completed_;
-    it->second();
+    it->second.done();
   }
   pending_.erase(pending_.begin(), end);
+}
+
+void AsyncCommitter::OnTruncated(Lsn new_end) {
+  // Entries past the new log end can never become durable as-submitted:
+  // their bytes were discarded, and the same LSN range may be refilled with
+  // a different leader's records.
+  auto it = pending_.upper_bound(new_end);
+  for (auto cur = it; cur != pending_.end(); ++cur) {
+    ++failed_count_;
+    if (cur->second.failed) cur->second.failed();
+  }
+  pending_.erase(it, pending_.end());
 }
 
 }  // namespace polarx

@@ -17,7 +17,15 @@
 //
 // Election follows the leader-lease discipline: followers only start an
 // election after the lease (no heartbeat for election_timeout) expires, and
-// grant votes only to candidates whose log is at least as long as theirs.
+// grant votes only to candidates whose log is at least as up-to-date as
+// theirs. "Up-to-date" compares (epoch of the last log byte, log length)
+// lexicographically — length alone would let a node holding a long but
+// stale suffix from a dead leader win and overwrite committed bytes. Each
+// member therefore tracks which epoch's replication stream produced every
+// byte range of its log (epoch spans, the byte-stream analogue of Raft's
+// per-entry terms); frames carry the origin epochs of their payload plus
+// the epoch of the byte just before it, giving the same log-matching
+// induction as Raft's prevLogTerm check.
 // A deposed leader truncates its unacknowledged suffix and discards the
 // corresponding dirty pages (§III "memory state cleaning").
 #pragma once
@@ -26,6 +34,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,6 +63,9 @@ struct PaxosConfig {
   sim::SimTime heartbeat_us = 20 * 1000;
   /// Follower election timeout (lease length); randomized +-50% per node.
   sim::SimTime election_timeout_us = 150 * 1000;
+  /// If a peer with frames in flight has not acked for this long, assume
+  /// the frames (or their acks) were lost and resend from its last match.
+  sim::SimTime retransmit_timeout_us = 60 * 1000;
 };
 
 class PaxosGroup;
@@ -90,6 +102,15 @@ class PaxosMember {
     dlsn_callbacks_.push_back(std::move(fn));
   }
 
+  /// Installs a callback fired after this member truncates its log (leader
+  /// deposition or crash recovery), with the new log end. Commit waiters
+  /// parked beyond it must fail: those LSNs may be reassigned to different
+  /// bytes by the new leader, so a later DLSN advance past them would
+  /// otherwise acknowledge a transaction whose records are gone.
+  void OnTruncate(std::function<void(Lsn)> fn) {
+    truncate_callbacks_.push_back(std::move(fn));
+  }
+
   /// Installs the apply hook: receives each redo record as it becomes
   /// applicable (i.e. once covered by DLSN).
   void SetApplyFn(std::function<void(const RedoRecord&)> fn) {
@@ -107,24 +128,48 @@ class PaxosMember {
  private:
   friend class PaxosGroup;
 
+  /// Bytes in (previous span's end, end) were produced by this epoch's
+  /// leader; a member's span list covers its whole log starting at LSN 1.
+  struct EpochSpan {
+    uint64_t epoch;
+    Lsn end;
+  };
   struct AppendFrame {
     uint64_t epoch;
     PaxosMeta meta;       // the MLOG_PAXOS framing record
     std::string payload;  // raw redo bytes [meta.range_start, meta.range_end)
     Lsn leader_dlsn;
+    /// The leader's log end when the frame was sent. A current-epoch
+    /// leader's log contains every committed byte, so a follower holding a
+    /// longer log is carrying a dead leader's un-acked residue and can
+    /// discard the overhang (no future frame would ever overlap it).
+    Lsn leader_log_end = 0;
+    /// Epoch of the leader's byte at range_start - 1 (0 if none): the
+    /// log-matching consistency check, as Raft's prevLogTerm.
+    uint64_t prev_epoch = 0;
+    /// Origin epochs of the payload bytes (leader's spans over the range).
+    std::vector<EpochSpan> spans;
   };
   struct AppendAck {
     uint64_t epoch;
     bool ok;
-    Lsn persisted_lsn;  // follower log end after this frame
+    Lsn persisted_lsn;  // follower log end, or the rewind point on failure
   };
   struct VoteRequest {
     uint64_t epoch;
     Lsn log_end;
+    uint64_t last_log_epoch;  // origin epoch of the candidate's last byte
+    /// Pre-vote probe (Raft §9.6): "would you elect me at `epoch`?" —
+    /// answered without changing any voter state. A node only bumps its
+    /// epoch and runs a real election after a quorum says yes, so a
+    /// rejoined node with a stale log can never inflate its epoch and
+    /// depose a healthy leader it could not replace.
+    bool prevote = false;
   };
   struct VoteReply {
     uint64_t epoch;
     bool granted;
+    bool prevote = false;
   };
 
   // -- leader side --
@@ -140,9 +185,30 @@ class PaxosMember {
   void ApplyUpTo(Lsn lsn);
   void ResetElectionTimer();
   void MaybeStartElection(uint64_t timer_generation);
+  void StartElection();
   void HandleVoteRequest(NodeId from, const VoteRequest& req);
   void HandleVoteReply(NodeId from, const VoteReply& reply);
   void StepDown(uint64_t new_epoch);
+  void NotifyTruncated();
+
+  // -- epoch-span bookkeeping (per-byte origin epochs) --
+  /// Origin epoch of the member's last log byte (0 for an empty log).
+  uint64_t LastLogEpoch() const;
+  /// Origin epoch of byte `lsn`, or 0 if the spans don't cover it.
+  uint64_t EpochAt(Lsn lsn) const;
+  /// End of the span covering byte `lsn` (requires EpochAt(lsn) != 0).
+  Lsn SpanEndAt(Lsn lsn) const;
+  /// Records that bytes up to `end` originate from `epoch`'s stream.
+  void ExtendSpans(uint64_t epoch, Lsn end);
+  /// Drops span info beyond `end` (mirrors RedoLog::TruncateTo).
+  void TrimSpans(Lsn end);
+  /// The spans covering [from, to), clipped, for stamping a frame.
+  std::vector<EpochSpan> SpansInRange(Lsn from, Lsn to) const;
+  /// First LSN in [frame.range_start, limit) where our byte's origin epoch
+  /// differs from the frame's, or `limit` if the overlap agrees.
+  Lsn FirstEpochDivergence(const AppendFrame& frame, Lsn limit) const;
+  /// Adopts the frame's origin epochs for bytes we just appended.
+  void MergeFrameSpans(const AppendFrame& frame);
 
   PaxosGroup* group_;
   NodeId node_;
@@ -152,27 +218,37 @@ class PaxosMember {
 
   uint64_t epoch_ = 0;
   uint64_t voted_epoch_ = 0;
-  /// Epoch of the last frame whose payload we appended (same-epoch overlaps
-  /// are identical bytes; truncation only applies on epoch change).
-  uint64_t last_append_epoch_ = 0;
   Lsn dlsn_ = 1;
   Lsn applied_lsn_ = 1;
+  /// Bumped on every log truncation; in-flight flush acks captured before a
+  /// truncation are stale (they vouch for bytes that no longer exist) and
+  /// check this counter before sending.
+  uint64_t truncations_ = 0;
+  /// Which epoch's replication stream produced each byte range of the log.
+  std::vector<EpochSpan> epoch_spans_;
 
   // Leader replication state.
   struct PeerProgress {
-    Lsn next_lsn = 1;      // next byte to send
-    Lsn match_lsn = 1;     // highest acked persisted lsn
-    size_t inflight = 0;   // frames awaiting ack
+    Lsn next_lsn = 1;          // next byte to send
+    Lsn match_lsn = 1;         // highest acked persisted lsn
+    size_t inflight = 0;       // frames awaiting ack
+    sim::SimTime last_ack_us = 0;  // when we last heard an ack from this peer
   };
   std::map<NodeId, PeerProgress> peers_;
   uint64_t paxos_index_ = 0;
 
-  // Election state.
+  // Election state. Granting voters are tracked by id so a duplicated
+  // vote-reply delivery cannot be double-counted toward the quorum.
   uint64_t timer_generation_ = 0;
   sim::SimTime last_heard_ = 0;
-  size_t votes_received_ = 0;
+  std::set<NodeId> vote_granted_by_;
+  /// Pre-vote round state: the epoch we are probing for (0 = no round
+  /// open) and who said they would grant it.
+  uint64_t prevote_epoch_ = 0;
+  std::set<NodeId> prevote_granted_by_;
 
   std::vector<std::function<void(Lsn)>> dlsn_callbacks_;
+  std::vector<std::function<void(Lsn)>> truncate_callbacks_;
   std::function<void(const RedoRecord&)> apply_fn_;
 
   uint64_t frames_sent_ = 0;
@@ -218,25 +294,39 @@ class PaxosGroup {
 /// The paper's async_log_committer (§III): transactions park their
 /// completion callbacks keyed by their last MTR's end LSN; DLSN advancement
 /// releases them in order, so foreground threads never block on cross-DC
-/// round trips.
+/// round trips. When the member truncates its log (deposed leader cleaning
+/// un-acked suffix, crash recovery), waiters parked beyond the new end fail:
+/// their records no longer exist and the LSN range may be reused for
+/// different bytes by the new leader.
 class AsyncCommitter {
  public:
-  /// Attaches to a member's DLSN notifications.
+  /// Attaches to a member's DLSN and truncation notifications.
   explicit AsyncCommitter(PaxosMember* member);
 
   /// Registers a transaction whose last MTR ends at `end_lsn`; `done` fires
-  /// once DLSN >= end_lsn (immediately if already durable).
-  void Submit(Lsn end_lsn, std::function<void()> done);
+  /// once DLSN >= end_lsn (immediately if already durable). `failed`, if
+  /// set, fires instead when the member truncates below end_lsn before the
+  /// entry becomes durable (the caller must retry or abort the transaction).
+  void Submit(Lsn end_lsn, std::function<void()> done,
+              std::function<void()> failed = nullptr);
 
   size_t pending() const { return pending_.size(); }
   uint64_t completed() const { return completed_; }
+  uint64_t failed() const { return failed_count_; }
 
  private:
+  struct Waiter {
+    std::function<void()> done;
+    std::function<void()> failed;
+  };
+
   void OnDlsn(Lsn dlsn);
+  void OnTruncated(Lsn new_end);
 
   PaxosMember* member_;
-  std::multimap<Lsn, std::function<void()>> pending_;
+  std::multimap<Lsn, Waiter> pending_;
   uint64_t completed_ = 0;
+  uint64_t failed_count_ = 0;
 };
 
 }  // namespace polarx

@@ -7,6 +7,13 @@ namespace polarx {
 RedoApplier::RedoApplier(TableCatalog* catalog) : catalog_(catalog) {}
 
 Status RedoApplier::Apply(const RedoRecord& rec) {
+  if (rec.lsn != kInvalidLsn) {
+    if (rec.lsn < applied_through_) {
+      ++records_skipped_;  // duplicate delivery of an applied record
+      return Status::Ok();
+    }
+    applied_through_ = rec.lsn + 1;
+  }
   switch (rec.type) {
     case RedoType::kInsert:
     case RedoType::kUpdate:

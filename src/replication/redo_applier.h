@@ -33,9 +33,15 @@ class RedoApplier {
   /// Largest commit timestamp applied so far: the replica's snapshot version.
   Timestamp max_commit_ts() const { return max_commit_ts_; }
 
+  /// Records annotated with an LSN below this watermark have already been
+  /// applied and are skipped, so replaying an overlapping range (at-least-
+  /// once redo shipping, crash-restart re-pulls) is idempotent.
+  Lsn applied_through() const { return applied_through_; }
+
   /// Number of row operations applied (telemetry).
   uint64_t rows_applied() const { return rows_applied_; }
   uint64_t txns_committed() const { return txns_committed_; }
+  uint64_t records_skipped() const { return records_skipped_; }
 
   /// Registers a hook fired after each commit record is applied, with the
   /// transaction's row operations (the column index subscribes here).
@@ -56,6 +62,8 @@ class RedoApplier {
   std::unordered_map<TxnId, std::vector<PendingWrite>> pending_;
   std::unordered_map<TxnId, std::vector<RedoRecord>> pending_records_;
   Timestamp max_commit_ts_ = 0;
+  Lsn applied_through_ = 0;
+  uint64_t records_skipped_ = 0;
   uint64_t rows_applied_ = 0;
   uint64_t txns_committed_ = 0;
   CommitHook commit_hook_;

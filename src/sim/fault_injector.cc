@@ -1,0 +1,226 @@
+#include "src/sim/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace polarx::sim {
+
+namespace {
+
+/// Exponential inter-arrival time for a `per_sec` rate, floored at 1us.
+SimTime NextArrival(Rng* rng, double per_sec) {
+  double mean_us = double(kUsPerSec) / per_sec;
+  double gap = rng->Exponential(mean_us);
+  return gap < 1.0 ? 1 : SimTime(gap);
+}
+
+SimTime UniformDuration(Rng* rng, SimTime lo, SimTime hi) {
+  if (hi <= lo) return lo;
+  return lo + rng->Uniform(hi - lo + 1);
+}
+
+}  // namespace
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream os;
+  os << "@" << at << "us ";
+  switch (type) {
+    case FaultType::kCrashNode:
+      os << "crash node " << node;
+      break;
+    case FaultType::kRestartNode:
+      os << "restart node " << node;
+      break;
+    case FaultType::kPartitionDcs:
+      os << "partition dc " << dc_a << " | dc " << dc_b;
+      break;
+    case FaultType::kHealDcs:
+      os << "heal dc " << dc_a << " | dc " << dc_b;
+      break;
+    case FaultType::kLossyWindowStart:
+      os << "lossy window: drop=" << fault.drop_prob
+         << " dup=" << fault.dup_prob << " spike=" << fault.delay_spike_prob
+         << "x" << fault.delay_spike_us << "us";
+      break;
+    case FaultType::kLossyWindowEnd:
+      os << "lossy window end";
+      break;
+    case FaultType::kHealAll:
+      os << "heal all";
+      break;
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::Generate(const FaultPlanConfig& config,
+                              const std::vector<NodeId>& crashable,
+                              const std::vector<DcId>& dcs) {
+  Rng rng(config.seed);
+  FaultPlan plan;
+
+  // Node crashes: keep at most max_concurrent_crashes down at once by
+  // tracking each candidate's down-until time.
+  if (config.crashes_per_sec > 0 && !crashable.empty()) {
+    std::vector<SimTime> down_until(crashable.size(), 0);
+    SimTime t = NextArrival(&rng, config.crashes_per_sec);
+    while (t < config.duration_us) {
+      size_t down_now = 0;
+      for (SimTime until : down_until) down_now += (until > t) ? 1 : 0;
+      if (down_now < config.max_concurrent_crashes) {
+        // Pick uniformly among currently-up candidates.
+        size_t pick = rng.Uniform(crashable.size());
+        for (size_t tries = 0;
+             tries < crashable.size() && down_until[pick] > t; ++tries) {
+          pick = (pick + 1) % crashable.size();
+        }
+        if (down_until[pick] <= t) {
+          SimTime downtime = UniformDuration(&rng, config.min_downtime_us,
+                                             config.max_downtime_us);
+          down_until[pick] = t + downtime;
+          FaultEvent crash;
+          crash.at = t;
+          crash.type = FaultType::kCrashNode;
+          crash.node = crashable[pick];
+          plan.events.push_back(crash);
+          FaultEvent restart = crash;
+          restart.at = std::min<SimTime>(t + downtime, config.duration_us);
+          restart.type = FaultType::kRestartNode;
+          plan.events.push_back(restart);
+        }
+      }
+      t += NextArrival(&rng, config.crashes_per_sec);
+    }
+  }
+
+  // Datacenter partitions (between random distinct DC pairs).
+  if (config.partitions_per_sec > 0 && dcs.size() >= 2) {
+    SimTime t = NextArrival(&rng, config.partitions_per_sec);
+    while (t < config.duration_us) {
+      size_t a = rng.Uniform(dcs.size());
+      size_t b = rng.Uniform(dcs.size() - 1);
+      if (b >= a) ++b;
+      SimTime span = UniformDuration(&rng, config.min_partition_us,
+                                     config.max_partition_us);
+      FaultEvent part;
+      part.at = t;
+      part.type = FaultType::kPartitionDcs;
+      part.dc_a = dcs[a];
+      part.dc_b = dcs[b];
+      plan.events.push_back(part);
+      FaultEvent heal = part;
+      heal.at = std::min<SimTime>(t + span, config.duration_us);
+      heal.type = FaultType::kHealDcs;
+      plan.events.push_back(heal);
+      t += NextArrival(&rng, config.partitions_per_sec);
+    }
+  }
+
+  // Network-wide lossy windows (drop/duplicate/delay on every link).
+  if (config.lossy_windows_per_sec > 0) {
+    SimTime t = NextArrival(&rng, config.lossy_windows_per_sec);
+    while (t < config.duration_us) {
+      FaultEvent start;
+      start.at = t;
+      start.type = FaultType::kLossyWindowStart;
+      start.fault.drop_prob = rng.NextDouble() * config.max_drop_prob;
+      start.fault.dup_prob = rng.NextDouble() * config.max_dup_prob;
+      start.fault.delay_spike_prob =
+          rng.NextDouble() * config.max_delay_spike_prob;
+      start.fault.delay_spike_us =
+          1 + rng.Uniform(config.max_delay_spike_us);
+      plan.events.push_back(start);
+      SimTime span =
+          UniformDuration(&rng, config.min_lossy_us, config.max_lossy_us);
+      FaultEvent end;
+      end.at = std::min<SimTime>(t + span, config.duration_us);
+      end.type = FaultType::kLossyWindowEnd;
+      plan.events.push_back(end);
+      t += NextArrival(&rng, config.lossy_windows_per_sec);
+    }
+  }
+
+  FaultEvent heal_all;
+  heal_all.at = config.duration_us;
+  heal_all.type = FaultType::kHealAll;
+  plan.events.push_back(heal_all);
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  return plan;
+}
+
+size_t FaultPlan::CountOf(FaultType type) const {
+  size_t n = 0;
+  for (const auto& e : events) n += (e.type == type) ? 1 : 0;
+  return n;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  for (const auto& e : events) os << e.ToString() << "\n";
+  return os.str();
+}
+
+FaultInjector::FaultInjector(Network* net, FaultPlan plan)
+    : net_(net), plan_(std::move(plan)) {
+  assert(net_ != nullptr);
+}
+
+void FaultInjector::Arm() {
+  assert(!armed_);
+  armed_ = true;
+  for (const FaultEvent& event : plan_.events) {
+    net_->scheduler()->ScheduleAt(event.at,
+                                  [this, event] { Fire(event); });
+  }
+}
+
+void FaultInjector::Fire(const FaultEvent& event) {
+  ++events_fired_;
+  switch (event.type) {
+    case FaultType::kCrashNode:
+      if (down_nodes_.insert(event.node).second) {
+        net_->SetNodeUp(event.node, false);
+        if (crash_hook_) crash_hook_(event.node);
+      }
+      break;
+    case FaultType::kRestartNode:
+      if (down_nodes_.erase(event.node) > 0) {
+        net_->SetNodeUp(event.node, true);
+        if (restart_hook_) restart_hook_(event.node);
+      }
+      break;
+    case FaultType::kPartitionDcs:
+      net_->PartitionDcs(event.dc_a, event.dc_b);
+      open_partitions_.insert({event.dc_a, event.dc_b});
+      break;
+    case FaultType::kHealDcs:
+      net_->HealDcs(event.dc_a, event.dc_b);
+      open_partitions_.erase({event.dc_a, event.dc_b});
+      break;
+    case FaultType::kLossyWindowStart:
+      net_->SetDefaultFault(event.fault);
+      break;
+    case FaultType::kLossyWindowEnd:
+      net_->SetDefaultFault(LinkFault{});
+      break;
+    case FaultType::kHealAll: {
+      net_->ClearFaults();
+      for (auto [a, b] : open_partitions_) net_->HealDcs(a, b);
+      open_partitions_.clear();
+      // Restart nodes last so restart hooks see a healed network.
+      std::set<NodeId> down = down_nodes_;
+      down_nodes_.clear();
+      for (NodeId node : down) {
+        net_->SetNodeUp(node, true);
+        if (restart_hook_) restart_hook_(node);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace polarx::sim

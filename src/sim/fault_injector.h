@@ -1,0 +1,121 @@
+// Deterministic fault injection for the discrete-event kernel.
+//
+// A FaultPlan is a time-ordered list of fault events — node crash/restart
+// pairs, datacenter partition/heal pairs, and network-wide lossy windows
+// (drop/duplication/delay-spike probabilities) — generated from a seeded RNG
+// so the same seed always yields the same schedule on the virtual clock.
+// A FaultInjector arms a plan against a Network: each event fires at its
+// virtual time, flips the corresponding network state, and (for crashes and
+// restarts) invokes caller-supplied hooks so protocol-level recovery — e.g.
+// PaxosMember::Recover() — runs at the right instant.
+//
+// The generator keeps at most `max_concurrent_crashes` nodes down at once
+// and never crashes a protected node, so quorum-based protocols keep making
+// progress while still being hit by every fault class. Every plan ends with
+// a heal-everything event at `duration_us`, giving invariant checkers a
+// fault-free convergence window after the chaos stops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/network.h"
+#include "src/sim/scheduler.h"
+
+namespace polarx::sim {
+
+enum class FaultType : uint8_t {
+  kCrashNode,
+  kRestartNode,
+  kPartitionDcs,
+  kHealDcs,
+  kLossyWindowStart,
+  kLossyWindowEnd,
+  kHealAll,  // end-of-plan: restart every node, heal partitions and links
+};
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultType type = FaultType::kHealAll;
+  NodeId node = kInvalidNodeId;  // kCrashNode / kRestartNode
+  DcId dc_a = 0, dc_b = 0;       // kPartitionDcs / kHealDcs
+  LinkFault fault;               // kLossyWindowStart
+
+  std::string ToString() const;
+};
+
+/// Knobs for FaultPlan::Generate. Rates are mean events per virtual second
+/// (inter-arrival times are exponential); a rate of 0 disables the class.
+struct FaultPlanConfig {
+  uint64_t seed = 1;
+  /// Faults are injected in [0, duration_us); HealAll fires at duration_us.
+  SimTime duration_us = 10 * kUsPerSec;
+
+  double crashes_per_sec = 0.8;
+  SimTime min_downtime_us = 100 * kUsPerMs;
+  SimTime max_downtime_us = 1500 * kUsPerMs;
+  size_t max_concurrent_crashes = 1;
+
+  double partitions_per_sec = 0.4;
+  SimTime min_partition_us = 100 * kUsPerMs;
+  SimTime max_partition_us = 1000 * kUsPerMs;
+
+  double lossy_windows_per_sec = 0.5;
+  SimTime min_lossy_us = 200 * kUsPerMs;
+  SimTime max_lossy_us = 2000 * kUsPerMs;
+  double max_drop_prob = 0.25;
+  double max_dup_prob = 0.2;
+  double max_delay_spike_prob = 0.2;
+  SimTime max_delay_spike_us = 5 * kUsPerMs;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // sorted by `at`, stable
+
+  /// Builds a deterministic schedule over `crashable` nodes and `dcs`
+  /// datacenter ids. Same config (incl. seed) => same plan.
+  static FaultPlan Generate(const FaultPlanConfig& config,
+                            const std::vector<NodeId>& crashable,
+                            const std::vector<DcId>& dcs);
+
+  size_t CountOf(FaultType type) const;
+  std::string ToString() const;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Network* net, FaultPlan plan);
+
+  /// Fired right after the network marks the node down / back up.
+  void SetCrashHook(std::function<void(NodeId)> fn) {
+    crash_hook_ = std::move(fn);
+  }
+  void SetRestartHook(std::function<void(NodeId)> fn) {
+    restart_hook_ = std::move(fn);
+  }
+
+  /// Schedules every plan event on the network's scheduler. Call once.
+  void Arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  uint64_t events_fired() const { return events_fired_; }
+
+ private:
+  void Fire(const FaultEvent& event);
+
+  Network* net_;
+  FaultPlan plan_;
+  std::function<void(NodeId)> crash_hook_;
+  std::function<void(NodeId)> restart_hook_;
+  std::set<NodeId> down_nodes_;
+  std::set<std::pair<DcId, DcId>> open_partitions_;
+  uint64_t events_fired_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace polarx::sim

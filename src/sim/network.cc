@@ -5,8 +5,20 @@
 
 namespace polarx::sim {
 
+namespace {
+/// Decorrelates the fault stream from the jitter stream under one user seed.
+constexpr uint64_t kFaultSeedSalt = 0xFA017EC7ED5EEDULL;
+
+uint64_t LinkKey(NodeId from, NodeId to) {
+  return (uint64_t(from) << 32) | uint64_t(to);
+}
+}  // namespace
+
 Network::Network(Scheduler* sched, NetworkConfig config)
-    : sched_(sched), config_(config), rng_(config.seed) {
+    : sched_(sched),
+      config_(config),
+      rng_(config.seed),
+      fault_rng_(config.seed ^ kFaultSeedSalt) {
   assert(sched_ != nullptr);
 }
 
@@ -16,6 +28,7 @@ NodeId Network::AddNode(DcId dc, std::string name) {
   if (name.empty()) name = "node-" + std::to_string(id);
   names_.push_back(std::move(name));
   node_up_.push_back(true);
+  incarnation_.push_back(0);
   dc_up_.emplace(dc, true);
   return id;
 }
@@ -32,6 +45,7 @@ const std::string& Network::NameOf(NodeId node) const {
 
 void Network::SetNodeUp(NodeId node, bool up) {
   assert(node < node_up_.size());
+  if (node_up_[node] && !up) ++incarnation_[node];  // crash: new incarnation
   node_up_[node] = up;
 }
 
@@ -42,7 +56,53 @@ bool Network::IsNodeUp(NodeId node) const {
   return it == dc_up_.end() || it->second;
 }
 
-void Network::SetDcUp(DcId dc, bool up) { dc_up_[dc] = up; }
+uint64_t Network::IncarnationOf(NodeId node) const {
+  assert(node < incarnation_.size());
+  return incarnation_[node];
+}
+
+void Network::SetDcUp(DcId dc, bool up) {
+  auto it = dc_up_.find(dc);
+  bool was_up = it == dc_up_.end() || it->second;
+  if (was_up && !up) {
+    for (NodeId n = 0; n < dc_of_.size(); ++n) {
+      if (dc_of_[n] == dc) ++incarnation_[n];
+    }
+  }
+  dc_up_[dc] = up;
+}
+
+void Network::SetLinkFault(NodeId from, NodeId to, LinkFault fault) {
+  if (fault.IsClean()) {
+    link_faults_.erase(LinkKey(from, to));
+  } else {
+    link_faults_[LinkKey(from, to)] = fault;
+  }
+}
+
+void Network::SetDefaultFault(LinkFault fault) { default_fault_ = fault; }
+
+void Network::ClearFaults() {
+  default_fault_ = LinkFault{};
+  link_faults_.clear();
+}
+
+void Network::SetDcLinkBlocked(DcId from_dc, DcId to_dc, bool blocked) {
+  if (blocked) {
+    blocked_dc_links_.insert({from_dc, to_dc});
+  } else {
+    blocked_dc_links_.erase({from_dc, to_dc});
+  }
+}
+
+const LinkFault& Network::FaultFor(NodeId from, NodeId to) const {
+  auto it = link_faults_.find(LinkKey(from, to));
+  return it == link_faults_.end() ? default_fault_ : it->second;
+}
+
+bool Network::DcLinkBlocked(DcId from, DcId to) const {
+  return blocked_dc_links_.count({from, to}) != 0;
+}
 
 SimTime Network::SampleLatency(NodeId from, NodeId to, size_t size_bytes) {
   SimTime base = (DcOf(from) == DcOf(to)) ? config_.intra_dc_one_way_us
@@ -54,17 +114,60 @@ SimTime Network::SampleLatency(NodeId from, NodeId to, size_t size_bytes) {
   return lat == 0 ? 1 : lat;
 }
 
+void Network::ScheduleDelivery(NodeId to, uint64_t incarnation,
+                               SimTime latency,
+                               std::function<void()> deliver) {
+  sched_->ScheduleAfter(
+      latency, [this, to, incarnation, deliver = std::move(deliver)] {
+        // At-delivery liveness check: the destination may have crashed while
+        // the message was in flight. The incarnation guard extends this to
+        // crash+restart races — a restarted node must not receive messages
+        // addressed to its previous incarnation.
+        if (IsNodeUp(to) && incarnation_[to] == incarnation) {
+          deliver();
+        } else {
+          ++messages_dropped_;
+        }
+      });
+}
+
 void Network::Send(NodeId from, NodeId to, size_t size_bytes,
                    std::function<void()> deliver) {
-  if (!IsNodeUp(from) || !IsNodeUp(to)) return;  // dropped on the floor
+  if (!IsNodeUp(from) || !IsNodeUp(to)) {
+    ++messages_dropped_;
+    return;
+  }
+  if (DcLinkBlocked(DcOf(from), DcOf(to))) {
+    ++messages_dropped_;
+    return;
+  }
+  const LinkFault& fault = FaultFor(from, to);
+  if (fault.blocked ||
+      (fault.drop_prob > 0 && fault_rng_.Bernoulli(fault.drop_prob))) {
+    ++messages_dropped_;
+    return;
+  }
   ++messages_sent_;
   bytes_sent_ += size_bytes;
-  SimTime lat = SampleLatency(from, to, size_bytes);
-  // Re-check the destination at delivery time: it may have crashed while the
-  // message was in flight.
-  sched_->ScheduleAfter(lat, [this, to, deliver = std::move(deliver)] {
-    if (IsNodeUp(to)) deliver();
-  });
+
+  auto spike = [&]() -> SimTime {
+    return (fault.delay_spike_prob > 0 &&
+            fault_rng_.Bernoulli(fault.delay_spike_prob))
+               ? fault.delay_spike_us
+               : 0;
+  };
+  uint64_t incarnation = incarnation_[to];
+  bool duplicate = fault.dup_prob > 0 && fault_rng_.Bernoulli(fault.dup_prob);
+  if (duplicate) {
+    ++messages_duplicated_;
+    // The copy samples its own latency/spike, so it may overtake the
+    // original (duplication doubles as reordering).
+    ScheduleDelivery(to, incarnation,
+                     SampleLatency(from, to, size_bytes) + spike(), deliver);
+  }
+  ScheduleDelivery(to, incarnation,
+                   SampleLatency(from, to, size_bytes) + spike(),
+                   std::move(deliver));
 }
 
 }  // namespace polarx::sim

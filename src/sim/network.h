@@ -2,10 +2,21 @@
 // derived from topology (intra-DC vs inter-DC) plus transmission time and
 // jitter. Message payloads are typed closures executed at delivery time; the
 // protocol logic they invoke is the real library code.
+//
+// Fault injection (chaos testing): every directed link carries a LinkFault —
+// drop probability, duplication, delay spikes, hard blocks — and datacenter
+// pairs can be partitioned (symmetrically or one direction only). Node
+// crashes bump a per-node incarnation number, and deliveries are guarded by
+// an at-delivery liveness + incarnation check, so a message in flight to a
+// node that crashes (even if it restarts before the delivery time) is
+// dropped, exactly as a real TCP connection reset would discard it. All
+// fault randomness draws from a dedicated seeded RNG, so a fault schedule is
+// reproducible from its seed and independent of the latency-jitter stream.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,8 +38,27 @@ struct NetworkConfig {
   double bytes_per_us = 1000.0;
   /// Relative jitter: each delivery multiplies latency by U[1, 1+jitter].
   double jitter = 0.05;
-  /// Seed for jitter sampling.
+  /// Seed for jitter sampling (fault sampling uses seed ^ kFaultSeedSalt).
   uint64_t seed = 42;
+};
+
+/// Fault state of one directed link (or the network-wide default).
+struct LinkFault {
+  /// Probability that a message on this link is silently dropped at send.
+  double drop_prob = 0.0;
+  /// Probability that a message is delivered twice (the duplicate takes an
+  /// independently sampled latency, so duplication also causes reordering).
+  double dup_prob = 0.0;
+  /// Probability that a delivery incurs an extra `delay_spike_us` of latency.
+  double delay_spike_prob = 0.0;
+  SimTime delay_spike_us = 0;
+  /// Hard directional block (link-level partition).
+  bool blocked = false;
+
+  bool IsClean() const {
+    return drop_prob == 0 && dup_prob == 0 && delay_spike_prob == 0 &&
+           !blocked;
+  }
 };
 
 /// Placement and message routing for a simulated cluster.
@@ -43,16 +73,49 @@ class Network {
   const std::string& NameOf(NodeId node) const;
   size_t NumNodes() const { return dc_of_.size(); }
 
-  /// Marks a node down: messages to/from it are silently dropped.
+  /// Marks a node down/up. Taking a node down is a crash: its incarnation
+  /// number is bumped, so messages already in flight toward it are dropped
+  /// at delivery time even if the node is back up by then.
   void SetNodeUp(NodeId node, bool up);
   bool IsNodeUp(NodeId node) const;
 
+  /// Times this node has crashed (incarnation numbers start at 0).
+  uint64_t IncarnationOf(NodeId node) const;
+
   /// Disconnects/reconnects an entire datacenter (disaster injection).
+  /// Taking a DC down crashes every node in it (bumps incarnations).
   void SetDcUp(DcId dc, bool up);
 
+  /// Installs fault state on the directed link from -> to.
+  void SetLinkFault(NodeId from, NodeId to, LinkFault fault);
+
+  /// Installs the fault state applied to every link without a specific
+  /// SetLinkFault entry (network-wide lossy window).
+  void SetDefaultFault(LinkFault fault);
+  const LinkFault& default_fault() const { return default_fault_; }
+
+  /// Removes all per-link faults and the default fault.
+  void ClearFaults();
+
+  /// Blocks/unblocks traffic in the direction from_dc -> to_dc only
+  /// (asymmetric partition).
+  void SetDcLinkBlocked(DcId from_dc, DcId to_dc, bool blocked);
+
+  /// Symmetric partition between two datacenters.
+  void PartitionDcs(DcId a, DcId b) {
+    SetDcLinkBlocked(a, b, true);
+    SetDcLinkBlocked(b, a, true);
+  }
+  void HealDcs(DcId a, DcId b) {
+    SetDcLinkBlocked(a, b, false);
+    SetDcLinkBlocked(b, a, false);
+  }
+
   /// Sends `size_bytes` of payload from `from` to `to`; `deliver` runs on the
-  /// virtual clock after the sampled latency, unless either endpoint (or its
-  /// DC) is down at send time.
+  /// virtual clock after the sampled latency. The message is dropped if
+  /// either endpoint (or its DC) is down or the link is blocked/lossy at
+  /// send time, or if `to` is down — or has crashed and restarted — at
+  /// delivery time.
   void Send(NodeId from, NodeId to, size_t size_bytes,
             std::function<void()> deliver);
 
@@ -63,17 +126,36 @@ class Network {
   const NetworkConfig& config() const { return config_; }
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Messages dropped by faults, partitions, or dead endpoints (send side
+  /// and delivery side combined).
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  /// Extra copies delivered due to duplication faults.
+  uint64_t messages_duplicated() const { return messages_duplicated_; }
 
  private:
+  /// The fault state governing from -> to right now.
+  const LinkFault& FaultFor(NodeId from, NodeId to) const;
+  bool DcLinkBlocked(DcId from, DcId to) const;
+  /// Schedules one delivery attempt guarded by the incarnation check.
+  void ScheduleDelivery(NodeId to, uint64_t incarnation, SimTime latency,
+                        std::function<void()> deliver);
+
   Scheduler* sched_;
   NetworkConfig config_;
-  Rng rng_;
+  Rng rng_;        // latency jitter stream
+  Rng fault_rng_;  // fault sampling stream (independent of jitter)
   std::vector<DcId> dc_of_;
   std::vector<std::string> names_;
   std::vector<bool> node_up_;
+  std::vector<uint64_t> incarnation_;
   std::unordered_map<DcId, bool> dc_up_;
+  LinkFault default_fault_;
+  std::unordered_map<uint64_t, LinkFault> link_faults_;  // (from<<32)|to
+  std::set<std::pair<DcId, DcId>> blocked_dc_links_;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t messages_duplicated_ = 0;
 };
 
 }  // namespace polarx::sim

@@ -257,6 +257,11 @@ Lsn RedoLog::flushed_lsn() const {
 
 void RedoLog::MarkFlushed(Lsn lsn) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Clamp to the log end: a flush completion scheduled before a crash may
+  // fire after the recovering node truncated its un-durable suffix, and must
+  // not mark bytes flushed that no longer exist.
+  Lsn end = purged_ + buffer_.size();
+  if (lsn > end) lsn = end;
   if (lsn > flushed_) flushed_ = lsn;
 }
 
@@ -276,6 +281,24 @@ Lsn RedoLog::AppendRaw(const std::string& bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   buffer_.append(bytes);
   return purged_ + buffer_.size();
+}
+
+Lsn RedoLog::BoundaryBefore(Lsn lsn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lsn end = purged_ + buffer_.size();
+  if (lsn > end) lsn = end;
+  Lsn pos = purged_;
+  while (pos + 8 <= end) {
+    size_t off = pos - purged_;
+    uint32_t len = 0;
+    for (int i = 3; i >= 0; --i) {
+      len = (len << 8) | static_cast<uint8_t>(buffer_[off + i]);
+    }
+    Lsn rec_end = pos + 8 + len;
+    if (rec_end > lsn) break;
+    pos = rec_end;
+  }
+  return pos;
 }
 
 Lsn RedoLog::ChunkEnd(Lsn from, size_t max_bytes) const {

@@ -102,6 +102,12 @@ class RedoLog {
   /// Used to cut replication frames on record boundaries.
   Lsn ChunkEnd(Lsn from, size_t max_bytes) const;
 
+  /// Largest record boundary <= `lsn` in THIS log's stream (at least the
+  /// purge horizon). A follower's rewind point is a boundary in its own
+  /// stream but not necessarily in ours — a leader must realign before
+  /// framing from it, or ChunkEnd would be parsing mid-record.
+  Lsn BoundaryBefore(Lsn lsn) const;
+
   /// Parses all complete records in `bytes`, whose first byte is at
   /// `base_lsn`, annotating each with its LSN.
   static Status ParseRecords(const std::string& bytes, Lsn base_lsn,

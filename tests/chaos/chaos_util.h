@@ -1,0 +1,37 @@
+// Shared helpers for the chaos suites: a seed-sweep driver whose failure
+// output names the exact seed (and the env var to replay just that seed),
+// so any red run is reproducible with
+//   POLARX_CHAOS_SEED=<seed> ctest -R <suite> --output-on-failure
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace polarx::chaos {
+
+/// Runs `body(seed)` for seeds [0, num_seeds), or for just the seed named by
+/// POLARX_CHAOS_SEED when set. Each seed runs under a SCOPED_TRACE carrying
+/// the reproduction one-liner, so a failing assertion prints its seed.
+inline void SeedSweep(int num_seeds,
+                      const std::function<void(uint64_t)>& body) {
+  const char* fixed = std::getenv("POLARX_CHAOS_SEED");
+  if (fixed != nullptr) {
+    uint64_t seed = std::strtoull(fixed, nullptr, 10);
+    SCOPED_TRACE("replaying POLARX_CHAOS_SEED=" + std::to_string(seed));
+    body(seed);
+    return;
+  }
+  for (int s = 0; s < num_seeds; ++s) {
+    uint64_t seed = uint64_t(s);
+    SCOPED_TRACE("seed " + std::to_string(seed) +
+                 " (replay: POLARX_CHAOS_SEED=" + std::to_string(seed) +
+                 ")");
+    body(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace polarx::chaos

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/sim/fault_injector.h"
 #include "src/sim/network.h"
 #include "src/sim/resource.h"
 #include "src/sim/scheduler.h"
@@ -126,10 +127,223 @@ TEST(NetworkTest, CrashWhileInFlightDropsDelivery) {
   NodeId a = net.AddNode(0), b = net.AddNode(1);
   bool delivered = false;
   net.Send(a, b, 0, [&] { delivered = true; });
-  // Crash b before the message arrives.
+  // Crash b before the message arrives: the liveness check must run at
+  // delivery time, not just at send time.
   sched.ScheduleAt(1, [&] { net.SetNodeUp(b, false); });
   sched.Run();
   EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(NetworkTest, CrashAndRestartWhileInFlightStillDrops) {
+  // The destination crashes AND restarts while the message is in flight: a
+  // liveness-only delivery check would wrongly deliver to the new
+  // incarnation; the incarnation guard must drop it.
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(1);  // inter-DC: 500us in flight
+  bool delivered = false;
+  net.Send(a, b, 0, [&] { delivered = true; });
+  sched.ScheduleAt(1, [&] { net.SetNodeUp(b, false); });
+  sched.ScheduleAt(2, [&] { net.SetNodeUp(b, true); });
+  sched.Run();
+  EXPECT_FALSE(delivered) << "message addressed to the crashed incarnation";
+  EXPECT_EQ(net.IncarnationOf(b), 1u);
+
+  // Messages sent to the new incarnation flow normally.
+  net.Send(a, b, 0, [&] { delivered = true; });
+  sched.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkTest, DcCrashBumpsIncarnations) {
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(1), c = net.AddNode(1);
+  bool delivered = false;
+  net.Send(a, b, 0, [&] { delivered = true; });
+  sched.ScheduleAt(1, [&] { net.SetDcUp(1, false); });
+  sched.ScheduleAt(2, [&] { net.SetDcUp(1, true); });
+  sched.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.IncarnationOf(b), 1u);
+  EXPECT_EQ(net.IncarnationOf(c), 1u);
+  EXPECT_EQ(net.IncarnationOf(a), 0u);
+}
+
+TEST(NetworkFaultTest, DropProbabilityOneDropsEverything) {
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(0);
+  LinkFault fault;
+  fault.drop_prob = 1.0;
+  net.SetLinkFault(a, b, fault);
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) net.Send(a, b, 0, [&] { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.messages_dropped(), 10u);
+  // The reverse direction is unaffected (faults are directional).
+  net.Send(b, a, 0, [&] { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkFaultTest, DuplicationDeliversTwice) {
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(0);
+  LinkFault fault;
+  fault.dup_prob = 1.0;
+  net.SetLinkFault(a, b, fault);
+  int delivered = 0;
+  net.Send(a, b, 0, [&] { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+}
+
+TEST(NetworkFaultTest, DelaySpikeAddsLatency) {
+  Scheduler sched;
+  NetworkConfig cfg;
+  cfg.jitter = 0;
+  Network net(&sched, cfg);
+  NodeId a = net.AddNode(0), b = net.AddNode(0);
+  LinkFault fault;
+  fault.delay_spike_prob = 1.0;
+  fault.delay_spike_us = 10000;
+  net.SetLinkFault(a, b, fault);
+  SimTime at = 0;
+  net.Send(a, b, 0, [&] { at = sched.Now(); });
+  sched.Run();
+  EXPECT_EQ(at, cfg.intra_dc_one_way_us + 10000);
+}
+
+TEST(NetworkFaultTest, BlockedLinkAndClearFaults) {
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(0);
+  LinkFault fault;
+  fault.blocked = true;
+  net.SetLinkFault(a, b, fault);
+  bool delivered = false;
+  net.Send(a, b, 0, [&] { delivered = true; });
+  sched.Run();
+  EXPECT_FALSE(delivered);
+  net.ClearFaults();
+  net.Send(a, b, 0, [&] { delivered = true; });
+  sched.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkFaultTest, DefaultFaultAppliesToAllLinks) {
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(1), c = net.AddNode(2);
+  LinkFault fault;
+  fault.drop_prob = 1.0;
+  net.SetDefaultFault(fault);
+  int delivered = 0;
+  net.Send(a, b, 0, [&] { ++delivered; });
+  net.Send(b, c, 0, [&] { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(delivered, 0);
+  net.SetDefaultFault(LinkFault{});
+  net.Send(a, b, 0, [&] { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkFaultTest, AsymmetricDcPartition) {
+  Scheduler sched;
+  Network net(&sched, {});
+  NodeId a = net.AddNode(0), b = net.AddNode(1);
+  net.SetDcLinkBlocked(0, 1, true);  // only DC0 -> DC1 is cut
+  int forward = 0, backward = 0;
+  net.Send(a, b, 0, [&] { ++forward; });
+  net.Send(b, a, 0, [&] { ++backward; });
+  sched.Run();
+  EXPECT_EQ(forward, 0);
+  EXPECT_EQ(backward, 1);
+
+  net.PartitionDcs(0, 1);  // now both directions
+  net.Send(b, a, 0, [&] { ++backward; });
+  sched.Run();
+  EXPECT_EQ(backward, 1);
+
+  net.HealDcs(0, 1);
+  net.Send(a, b, 0, [&] { ++forward; });
+  net.Send(b, a, 0, [&] { ++backward; });
+  sched.Run();
+  EXPECT_EQ(forward, 1);
+  EXPECT_EQ(backward, 2);
+}
+
+TEST(FaultInjectorTest, SameSeedSamePlan) {
+  FaultPlanConfig cfg;
+  cfg.seed = 99;
+  std::vector<NodeId> nodes{0, 1, 2};
+  std::vector<DcId> dcs{0, 1, 2};
+  FaultPlan p1 = FaultPlan::Generate(cfg, nodes, dcs);
+  FaultPlan p2 = FaultPlan::Generate(cfg, nodes, dcs);
+  EXPECT_EQ(p1.ToString(), p2.ToString());
+  cfg.seed = 100;
+  FaultPlan p3 = FaultPlan::Generate(cfg, nodes, dcs);
+  EXPECT_NE(p1.ToString(), p3.ToString());
+}
+
+TEST(FaultInjectorTest, PlanContainsAllFaultClassesAndHealsItself) {
+  FaultPlanConfig cfg;
+  cfg.seed = 5;
+  cfg.duration_us = 30 * kUsPerSec;
+  std::vector<NodeId> nodes{0, 1, 2};
+  std::vector<DcId> dcs{0, 1, 2};
+  FaultPlan plan = FaultPlan::Generate(cfg, nodes, dcs);
+  EXPECT_GT(plan.CountOf(FaultType::kCrashNode), 0u);
+  EXPECT_GT(plan.CountOf(FaultType::kPartitionDcs), 0u);
+  EXPECT_GT(plan.CountOf(FaultType::kLossyWindowStart), 0u);
+  EXPECT_EQ(plan.CountOf(FaultType::kCrashNode),
+            plan.CountOf(FaultType::kRestartNode));
+  EXPECT_EQ(plan.CountOf(FaultType::kHealAll), 1u);
+
+  Scheduler sched;
+  Network net(&sched, {});
+  for (int i = 0; i < 3; ++i) net.AddNode(DcId(i));
+  int crashes = 0, restarts = 0;
+  FaultInjector injector(&net, plan);
+  injector.SetCrashHook([&](NodeId) { ++crashes; });
+  injector.SetRestartHook([&](NodeId) { ++restarts; });
+  injector.Arm();
+  sched.Run();
+  EXPECT_GT(crashes, 0);
+  EXPECT_EQ(crashes, restarts);
+  // After the final HealAll the cluster is fully healthy again.
+  for (NodeId n = 0; n < 3; ++n) EXPECT_TRUE(net.IsNodeUp(n));
+  EXPECT_TRUE(net.default_fault().IsClean());
+  bool delivered = false;
+  net.Send(0, 1, 0, [&] { delivered = true; });
+  sched.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(FaultInjectorTest, NeverExceedsMaxConcurrentCrashes) {
+  FaultPlanConfig cfg;
+  cfg.seed = 11;
+  cfg.crashes_per_sec = 10;  // aggressive: forces the cap to matter
+  cfg.max_concurrent_crashes = 1;
+  cfg.duration_us = 20 * kUsPerSec;
+  std::vector<NodeId> nodes{0, 1, 2, 3, 4};
+  FaultPlan plan = FaultPlan::Generate(cfg, nodes, {});
+  // Walk the schedule: at no instant are two nodes down.
+  int down = 0;
+  for (const auto& e : plan.events) {
+    if (e.type == FaultType::kCrashNode) {
+      ++down;
+      EXPECT_LE(down, 1) << e.ToString();
+    } else if (e.type == FaultType::kRestartNode) {
+      --down;
+    }
+  }
 }
 
 TEST(NetworkTest, DcOutageDisablesAllItsNodes) {

@@ -296,9 +296,23 @@ TEST(RedoLogTest, TruncateDiscardsSuffix) {
 
 TEST(RedoLogTest, FlushedLsnMonotone) {
   RedoLog log;
-  log.MarkFlushed(100);
-  log.MarkFlushed(50);
-  EXPECT_EQ(log.flushed_lsn(), 100u);
+  MtrHandle h1 = log.AppendMtr({MakeInsert(1, 1, 1, "a")});
+  MtrHandle h2 = log.AppendMtr({MakeInsert(1, 1, 2, "b")});
+  log.MarkFlushed(h2.end_lsn);
+  log.MarkFlushed(h1.end_lsn);
+  EXPECT_EQ(log.flushed_lsn(), h2.end_lsn);
+}
+
+TEST(RedoLogTest, MarkFlushedClampsToLogEnd) {
+  // A stale flush completion (scheduled before a crash, firing after the
+  // recovering node truncated its suffix) must not mark nonexistent bytes
+  // flushed.
+  RedoLog log;
+  MtrHandle h1 = log.AppendMtr({MakeInsert(1, 1, 1, "a")});
+  MtrHandle h2 = log.AppendMtr({MakeInsert(1, 1, 2, "b")});
+  log.TruncateTo(h1.end_lsn);
+  log.MarkFlushed(h2.end_lsn);  // stale completion for truncated bytes
+  EXPECT_EQ(log.flushed_lsn(), h1.end_lsn);
 }
 
 TEST(Crc32Test, KnownProperties) {
