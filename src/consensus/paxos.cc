@@ -102,8 +102,14 @@ void PaxosMember::NotifyNewData() {
 MtrHandle PaxosMember::Append(const std::vector<RedoRecord>& records) {
   MtrHandle h = log_->AppendMtr(records);
   uint64_t gen = timer_generation_;
+  uint64_t trunc = truncations_;
   group_->scheduler()->ScheduleAfter(
-      group_->config().flush_latency_us, [this, h, gen] {
+      group_->config().flush_latency_us, [this, h, gen, trunc] {
+        // If the log was truncated while this flush was in flight (we were
+        // deposed, or crashed and recovered), the LSN range may hold a new
+        // leader's bytes that were never flushed — marking them durable
+        // would let a simulated crash wrongly preserve them.
+        if (truncations_ != trunc) return;
         log_->MarkFlushed(h.end_lsn);
         if (gen == timer_generation_ && role_ == PaxosRole::kLeader &&
             group_->network()->IsNodeUp(node_)) {
@@ -187,14 +193,27 @@ void PaxosMember::HandleAppend(NodeId from, const AppendFrame& frame) {
     StepDown(frame.epoch);
   }
   last_heard_ = group_->scheduler()->Now();
+  // A live leader is talking to us: abandon any open pre-vote round so
+  // late-arriving grants cannot assemble a quorum and depose it.
+  prevote_epoch_ = 0;
+  prevote_granted_by_.clear();
 
   // The leader's log holds every committed byte, so a suffix of ours past
   // its log end is a dead leader's un-acked residue that no frame would
-  // ever overlap — discard it now or the logs can never converge. (A
-  // delayed frame with a stale leader_log_end may chop live bytes here;
-  // that is only wasteful, retransmission re-sends them.)
+  // ever overlap — discard it now or the logs can never converge. But
+  // leader_log_end is only monotonic in SEND order: a duplicated or
+  // delay-spiked frame can arrive after later frames were appended, and
+  // truncating to its stale value would chop bytes we may already have
+  // flushed AND acked (counted into the leader's DLSN). A leader's log end
+  // never shrinks while it reigns, so the per-epoch maximum we have seen is
+  // always a value its log really reached — truncate only above that.
+  if (frame.epoch != leader_log_end_epoch_) {
+    leader_log_end_epoch_ = frame.epoch;
+    max_leader_log_end_ = 0;
+  }
+  max_leader_log_end_ = std::max(max_leader_log_end_, frame.leader_log_end);
   Lsn overhang_floor = std::max(
-      {frame.leader_log_end, dlsn_, log_->purged_before()});
+      {max_leader_log_end_, dlsn_, log_->purged_before()});
   if (log_->current_lsn() > overhang_floor) {
     log_->TruncateTo(overhang_floor);
     TrimSpans(overhang_floor);
@@ -567,6 +586,10 @@ void PaxosMember::HandleVoteReply(NodeId from, const VoteReply& reply) {
 void PaxosMember::StepDown(uint64_t new_epoch) {
   bool was_leader = role_ == PaxosRole::kLeader;
   epoch_ = std::max(epoch_, new_epoch);
+  // Any open pre-vote round probed for an epoch that is now stale; late
+  // grants must not be able to reach quorum and start an election.
+  prevote_epoch_ = 0;
+  prevote_granted_by_.clear();
   if (role_ == PaxosRole::kLeader || role_ == PaxosRole::kCandidate) {
     role_ = base_role_;
     peers_.clear();

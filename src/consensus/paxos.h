@@ -226,6 +226,13 @@ class PaxosMember {
   uint64_t truncations_ = 0;
   /// Which epoch's replication stream produced each byte range of the log.
   std::vector<EpochSpan> epoch_spans_;
+  /// Highest leader_log_end seen in frames from `leader_log_end_epoch_`'s
+  /// leader. Frames can be duplicated or reordered in flight, so a single
+  /// frame's leader_log_end may be stale; overhang truncation uses this
+  /// per-epoch maximum so it never discards bytes a later frame delivered
+  /// (they may already be flushed and acked into the leader's DLSN).
+  uint64_t leader_log_end_epoch_ = 0;
+  Lsn max_leader_log_end_ = 0;
 
   // Leader replication state.
   struct PeerProgress {

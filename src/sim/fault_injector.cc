@@ -132,11 +132,16 @@ FaultPlan FaultPlan::Generate(const FaultPlanConfig& config,
       plan.events.push_back(start);
       SimTime span =
           UniformDuration(&rng, config.min_lossy_us, config.max_lossy_us);
+      SimTime next = t + NextArrival(&rng, config.lossy_windows_per_sec);
       FaultEvent end;
-      end.at = std::min<SimTime>(t + span, config.duration_us);
+      // Clamp the end to the next window's start: overlapping windows would
+      // let the first window's end event reset the fault installed by the
+      // second, silently truncating its exposure. (On a tie the stable sort
+      // keeps this end ahead of the next start, so the new fault survives.)
+      end.at = std::min<SimTime>({t + span, next, config.duration_us});
       end.type = FaultType::kLossyWindowEnd;
       plan.events.push_back(end);
-      t += NextArrival(&rng, config.lossy_windows_per_sec);
+      t = next;
     }
   }
 

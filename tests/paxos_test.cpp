@@ -304,6 +304,39 @@ TEST(PaxosTest, StableLeaderNeverDeposedWithoutFailure) {
   EXPECT_EQ(g.f2->elections_started(), 0u);
 }
 
+TEST(PaxosTest, ReorderedStaleFrameNeverTruncatesFollower) {
+  // Duplicate every leader->f1 frame and delay-spike some copies so frames
+  // from one epoch arrive well out of send order: a late copy carries a
+  // leader_log_end that is stale by many appends. Truncating to it would
+  // discard bytes f1 already flushed and acked (counted into the leader's
+  // DLSN). In a single stable epoch a follower's log must only grow, so no
+  // truncation of any kind may fire.
+  GroupFixture g;
+  sim::LinkFault fault;
+  fault.dup_prob = 1.0;
+  fault.delay_spike_prob = 0.5;
+  fault.delay_spike_us = 20 * sim::kUsPerMs;
+  g.net.SetLinkFault(g.leader->node(), g.f1->node(), fault);
+
+  int f1_truncations = 0;
+  g.f1->OnTruncate([&](Lsn) { ++f1_truncations; });
+
+  for (int i = 0; i < 40; ++i) {
+    g.leader->Append({TestRecord(1, i)});
+    g.RunFor(2 * sim::kUsPerMs);
+  }
+  g.RunFor(300 * sim::kUsPerMs);
+
+  EXPECT_EQ(f1_truncations, 0);
+  EXPECT_EQ(g.f1->log()->current_lsn(), g.leader->log()->current_lsn());
+  std::string leader_bytes, f1_bytes;
+  g.leader->log()->ReadBytes(1, g.leader->log()->current_lsn(),
+                             &leader_bytes);
+  g.f1->log()->ReadBytes(1, g.f1->log()->current_lsn(), &f1_bytes);
+  EXPECT_EQ(leader_bytes, f1_bytes);
+  EXPECT_EQ(g.leader->epoch(), 1u) << "no election should have occurred";
+}
+
 TEST(PaxosTest, HeartbeatsPropagateDlsnToFollowers) {
   GroupFixture g;
   MtrHandle h = g.leader->Append({TestRecord(1, 1)});

@@ -326,6 +326,35 @@ TEST(FaultInjectorTest, PlanContainsAllFaultClassesAndHealsItself) {
   EXPECT_TRUE(delivered);
 }
 
+TEST(FaultInjectorTest, LossyWindowsNeverOverlap) {
+  // Overlapping windows would let the first window's end event reset the
+  // fault installed by the second, silently ending it early. Generate with
+  // an aggressive rate and long spans so overlaps would certainly occur
+  // without clamping, then walk the schedule: at most one window is ever
+  // open, and ties resolve end-before-start.
+  FaultPlanConfig cfg;
+  cfg.seed = 17;
+  cfg.crashes_per_sec = 0;
+  cfg.partitions_per_sec = 0;
+  cfg.lossy_windows_per_sec = 5;
+  cfg.min_lossy_us = 500 * kUsPerMs;
+  cfg.max_lossy_us = 2000 * kUsPerMs;
+  cfg.duration_us = 30 * kUsPerSec;
+  FaultPlan plan = FaultPlan::Generate(cfg, {0, 1, 2}, {});
+  EXPECT_GT(plan.CountOf(FaultType::kLossyWindowStart), 1u);
+  int open = 0;
+  for (const auto& e : plan.events) {
+    if (e.type == FaultType::kLossyWindowStart) {
+      ++open;
+      EXPECT_LE(open, 1) << e.ToString();
+    } else if (e.type == FaultType::kLossyWindowEnd) {
+      --open;
+      EXPECT_GE(open, 0) << e.ToString();
+    }
+  }
+  EXPECT_EQ(open, 0);
+}
+
 TEST(FaultInjectorTest, NeverExceedsMaxConcurrentCrashes) {
   FaultPlanConfig cfg;
   cfg.seed = 11;
