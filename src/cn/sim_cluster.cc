@@ -1,5 +1,10 @@
 #include "src/cn/sim_cluster.h"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/replication/redo_applier.h"
 #include "src/storage/key_codec.h"
 
 namespace polarx {
@@ -14,7 +19,8 @@ PhysicalClockMs SimClockMs(sim::Scheduler* sched) {
 SimCluster::SimCluster(sim::Scheduler* sched, sim::Network* net,
                        SimClusterConfig config)
     : sched_(sched), net_(net), config_(config) {
-  // CN servers: cns_per_dc in each DC.
+  // CN servers: cns_per_dc in each DC, each holding a GMS coordinator
+  // lease so a crash is detectable by lease expiry.
   for (int dc = 0; dc < config_.num_dcs; ++dc) {
     for (int i = 0; i < config_.cns_per_dc; ++i) {
       CnNode cn;
@@ -23,6 +29,9 @@ SimCluster::SimCluster(sim::Scheduler* sched, sim::Network* net,
                                          std::to_string(i));
       cn.hlc = std::make_unique<Hlc>(SimClockMs(sched_));
       cn.server = std::make_unique<sim::Server>(sched_, config_.cn_cores);
+      cn.coordinator_id = gms_.RegisterCoordinator(cn.dc, 0);
+      cn.rng = Rng(config_.seed ^ (0x9E3779B97F4A7C15ULL * (cn.node + 1)));
+      cn_of_node_[cn.node] = int(cns_.size());
       cns_.push_back(std::move(cn));
     }
   }
@@ -30,37 +39,62 @@ SimCluster::SimCluster(sim::Scheduler* sched, sim::Network* net,
   for (int i = 0; i < config_.num_dns; ++i) {
     auto dn = std::make_unique<DnNode>();
     dn->dc = DcId(i % config_.num_dcs);
-    dn->leader_node =
+    dn->engine_id = uint32_t(i + 1);
+    NodeId leader_node =
         net_->AddNode(dn->dc, "dn-" + std::to_string(i) + "-leader");
     dn->hlc = std::make_unique<Hlc>(SimClockMs(sched_));
-    dn->log = std::make_unique<RedoLog>();
+    dn->member_logs.push_back(std::make_unique<RedoLog>());
+    dn->catalog = std::make_unique<TableCatalog>();
     dn->pool = std::make_unique<BufferPool>(&dn->store);
     TxnEngineOptions opts;
     opts.use_prepare_ts_filter = config_.scheme == TsScheme::kHlcSi;
     dn->engine = std::make_unique<TxnEngine>(
-        uint32_t(i + 1), &dn->catalog, dn->hlc.get(), dn->log.get(),
-        dn->pool.get(), opts);
+        dn->engine_id, dn->catalog.get(), dn->hlc.get(),
+        dn->member_logs[0].get(), dn->pool.get(), opts);
     dn->paxos = std::make_unique<PaxosGroup>(net_, config_.paxos);
-    dn->leader =
-        dn->paxos->AddMember(dn->leader_node, PaxosRole::kLeader,
-                             dn->log.get());
+    dn->leader = dn->paxos->AddMember(leader_node, PaxosRole::kLeader,
+                                      dn->member_logs[0].get());
+    dn_of_node_[leader_node] = i;
     for (int f = 1; f < config_.num_dcs; ++f) {
       DcId fdc = DcId((i + f) % config_.num_dcs);
       NodeId fnode = net_->AddNode(
           fdc, "dn-" + std::to_string(i) + "-f" + std::to_string(f));
-      dn->follower_logs.push_back(std::make_unique<RedoLog>());
+      dn->member_logs.push_back(std::make_unique<RedoLog>());
       dn->paxos->AddMember(fnode, PaxosRole::kFollower,
-                           dn->follower_logs.back().get());
+                           dn->member_logs.back().get());
+      dn_of_node_[fnode] = i;
     }
     dn->paxos->Start();
-    dn->committer = std::make_unique<AsyncCommitter>(dn->leader);
+    // One committer per member for the cluster's lifetime: AsyncCommitter
+    // registers permanent callbacks on its member, so destroying one on
+    // failover would leave dangling callbacks. Promotion just switches
+    // which committer serves.
+    for (auto& m : dn->paxos->members()) {
+      dn->committers[m->node()] = std::make_unique<AsyncCommitter>(m.get());
+    }
+    dn->serving_node = leader_node;
+    dn->serving_epoch = dn->leader->epoch();
+    dn->committer = dn->committers.at(leader_node).get();
     dn->server = std::make_unique<sim::Server>(sched_, config_.dn_cores);
+    gms_.SetDnEndpoint(uint32_t(i), leader_node);
     dns_.push_back(std::move(dn));
   }
-  // TSO in DC 0 (TSO-SI only, but always constructed for telemetry).
+  // TSO in DC 0 (TSO-SI only, but always constructed for telemetry), plus
+  // the GMS endpoint CNs query to re-resolve DN leaders.
   tso_node_ = net_->AddNode(0, "tso");
   tso_service_ = std::make_unique<TsoService>(SimClockMs(sched_));
   tso_server_ = std::make_unique<sim::Server>(sched_, 4);
+  gms_node_ = net_->AddNode(0, "gms");
+  gms_server_ = std::make_unique<sim::Server>(sched_, 4);
+
+  // Background daemons. On the fault-free path these ticks touch no
+  // network and draw no randomness, so existing deterministic workloads
+  // keep their event sequences.
+  sched_->ScheduleAfter(config_.cn_heartbeat_us, [this] { HeartbeatTick(); });
+  sched_->ScheduleAfter(config_.failover_poll_us, [this] { FailoverTick(); });
+  if (config_.enable_recovery) {
+    sched_->ScheduleAfter(config_.recovery_poll_us, [this] { RecoveryTick(); });
+  }
 }
 
 SimCluster::~SimCluster() = default;
@@ -69,16 +103,40 @@ void SimCluster::LoadSysbenchTable() {
   Rng rng(config_.seed);
   Schema schema = Sysbench::TableSchema();
   for (auto& dn : dns_) {
-    dn->catalog.CreateTable(table_id_, "sbtest", schema, 0);
+    dn->catalog->CreateTable(table_id_, "sbtest", schema, 0);
   }
+  std::vector<std::vector<RedoRecord>> redo(dns_.size());
   for (int64_t id = 1; id <= int64_t(config_.table_size); ++id) {
     int dn_index = DnOfKey(id);
-    TableStore* table = dns_[dn_index]->catalog.FindTable(table_id_);
+    TableStore* table = dns_[dn_index]->catalog->FindTable(table_id_);
     Row row = Sysbench::MakeRow(id, &rng);
+    EncodedKey key = EncodeKey({id});
+    RedoRecord rec;
+    rec.type = RedoType::kInsert;
+    rec.txn_id = 1;
+    rec.table_id = table_id_;
+    rec.key = key;
+    rec.row = row;
+    redo[size_t(dn_index)].push_back(std::move(rec));
     auto version = std::make_shared<Version>(1, false, std::move(row));
     version->commit_ts.store(hlc_layout::Pack(999, 1),
                              std::memory_order_release);
-    table->rows().Push(EncodeKey({id}), version);
+    table->rows().Push(key, version);
+  }
+  // The load must also exist in the leader's redo stream, or a failover
+  // rebuild (replay of the replicated log) would come up with an empty
+  // table. Only the leader log is seeded: followers start empty and catch
+  // up through normal replication, which also tags the bytes with epoch
+  // spans (pre-seeding follower logs would defeat divergence detection).
+  for (size_t i = 0; i < dns_.size(); ++i) {
+    RedoRecord commit;
+    commit.type = RedoType::kTxnCommit;
+    commit.txn_id = 1;
+    commit.ts = hlc_layout::Pack(999, 1);
+    redo[i].push_back(std::move(commit));
+    RedoLog* log = dns_[i]->leader->log();
+    MtrHandle mtr = log->AppendMtr(redo[i]);
+    log->MarkFlushed(mtr.end_lsn);
   }
 }
 
@@ -86,16 +144,130 @@ int SimCluster::DnOfKey(int64_t key) const {
   return int(ShardOf(EncodeKey({key}), uint32_t(dns_.size())));
 }
 
+std::vector<NodeId> SimCluster::dn_member_nodes(int dn_index) const {
+  std::vector<NodeId> out;
+  for (auto& m : dns_[dn_index]->paxos->members()) out.push_back(m->node());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Retryable RPC layer
+// ---------------------------------------------------------------------------
+
+void SimCluster::CnRpc(int cn_index, uint64_t incarnation,
+                       std::function<NodeId()> target, size_t req_bytes,
+                       size_t resp_bytes, bool resolve_via_gms,
+                       RpcHandler handler,
+                       std::function<void(RpcReply)> done) {
+  struct Call {
+    RetryState retry;
+    uint64_t attempt = 0;
+    uint64_t handled = 0;
+    bool completed = false;
+    std::function<void()> send_attempt;
+    Call(const RetryPolicy& p, uint64_t now, uint64_t seed)
+        : retry(p, now, seed) {}
+  };
+  auto call = std::make_shared<Call>(config_.rpc_retry, sched_->Now(),
+                                     cns_[cn_index].rng.Next());
+  // Resolves one attempt (reply or timeout, whichever fires first — the
+  // loser is dropped by the attempt/handled guards). Only ever runs from
+  // scheduled events, never inside send_attempt, so clearing send_attempt
+  // here cannot destroy an executing closure.
+  auto outcome = [this, cn_index, incarnation, call, done, resolve_via_gms](
+                     uint64_t attempt, RpcReply reply) {
+    if (call->completed || attempt != call->attempt ||
+        call->handled >= attempt) {
+      return;
+    }
+    call->handled = attempt;
+    if (!CnLive(cn_index, incarnation)) {
+      call->completed = true;
+      call->send_attempt = nullptr;  // break the self-reference cycle
+      return;  // the CN died; nobody is waiting for this reply
+    }
+    bool retry = !reply.status.ok() && config_.enable_retry &&
+                 call->retry.ShouldRetry(reply.status, sched_->Now());
+    if (!retry) {
+      call->completed = true;
+      call->send_attempt = nullptr;
+      done(std::move(reply));
+      return;
+    }
+    ++stats_.rpc_retries;
+    uint64_t backoff = call->retry.NextBackoffUs();
+    // Routing errors and timeouts: refresh the endpoint map from GMS
+    // before the next attempt (target() re-reads it per attempt).
+    bool refresh = resolve_via_gms && (reply.status.IsNotLeader() ||
+                                       reply.status.IsTimedOut() ||
+                                       reply.status.IsUnavailable());
+    NodeId cn_node = cns_[cn_index].node;
+    sched_->ScheduleAfter(sim::SimTime(backoff), [this, call, refresh,
+                                                  cn_node] {
+      if (call->completed || !call->send_attempt) return;
+      if (!refresh) {
+        call->send_attempt();
+        return;
+      }
+      net_->Send(cn_node, gms_node_, 64, [this, call, cn_node] {
+        gms_server_->Execute(config_.tso_service_us, [this, call, cn_node] {
+          net_->Send(gms_node_, cn_node, 64, [call] {
+            if (call->completed || !call->send_attempt) return;
+            call->send_attempt();
+          });
+        });
+      });
+    });
+  };
+  call->send_attempt = [this, cn_index, incarnation, call, target, req_bytes,
+                        resp_bytes, handler, outcome] {
+    if (call->completed || !CnLive(cn_index, incarnation)) return;
+    uint64_t attempt = ++call->attempt;
+    NodeId from = cns_[cn_index].node;
+    NodeId to = target();
+    sched_->ScheduleAfter(config_.rpc_timeout_us, [outcome, attempt] {
+      outcome(attempt, RpcReply{Status::TimedOut("rpc attempt timed out")});
+    });
+    net_->Send(from, to, req_bytes,
+               [this, to, from, resp_bytes, handler, outcome, attempt] {
+                 handler(to, [this, to, from, resp_bytes, outcome,
+                              attempt](RpcReply reply) {
+                   net_->Send(to, from, resp_bytes, [outcome, attempt,
+                                                     reply] {
+                     outcome(attempt, reply);
+                   });
+                 });
+               });
+  };
+  call->send_attempt();
+}
+
+void SimCluster::StepHook(TxnPtr txn, CommitStep step) {
+  if (config_.commit_step_hook) {
+    config_.commit_step_hook(txn->cn, int(step));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transaction flow
+// ---------------------------------------------------------------------------
+
 void SimCluster::SubmitTxn(int cn_index, const SysbenchTxn& txn,
                            std::function<void(bool, sim::SimTime)> done) {
   auto state = std::make_shared<TxnState>();
   state->cn = cn_index % int(cns_.size());
+  CnNode& cn = cns_[state->cn];
+  if (!cn.alive) return;  // dead CN accepts no work; `done` never fires
   state->txn = txn;
   state->done = std::move(done);
   state->start_time = sched_->Now();
-  CnNode& cn = cns_[state->cn];
-  cn.server->Execute(config_.cn_overhead_us,
-                     [this, state] { AcquireSnapshot(state); });
+  state->cn_incarnation = cn.incarnation;
+  state->gid =
+      (GlobalTxnId(cn.coordinator_id) << 32) | GlobalTxnId(cn.next_global++);
+  cn.server->Execute(config_.cn_overhead_us, [this, state] {
+    if (!CnLive(state->cn, state->cn_incarnation)) return;
+    AcquireSnapshot(state);
+  });
 }
 
 void SimCluster::AcquireSnapshot(TxnPtr txn) {
@@ -105,16 +277,27 @@ void SimCluster::AcquireSnapshot(TxnPtr txn) {
     ExecuteNextOp(txn);
     return;
   }
-  // TSO-SI: a round trip to the TSO in DC 0.
-  net_->Send(cn.node, tso_node_, 32, [this, txn] {
-    tso_server_->Execute(config_.tso_service_us, [this, txn] {
-      Timestamp ts = tso_service_->Next();
-      net_->Send(tso_node_, cns_[txn->cn].node, 32, [this, txn, ts] {
-        txn->snapshot_ts = ts;
+  // TSO-SI: a round trip to the TSO in DC 0, retried with backoff. If the
+  // TSO DC stays unreachable past the deadline, the transaction fails
+  // cleanly instead of hanging.
+  CnRpc(
+      txn->cn, txn->cn_incarnation, [this] { return tso_node_; }, 32, 32,
+      /*resolve_via_gms=*/false,
+      [this](NodeId, std::function<void(RpcReply)> reply) {
+        tso_server_->Execute(config_.tso_service_us, [this, reply] {
+          RpcReply r;
+          r.ts = tso_service_->Next();
+          reply(r);
+        });
+      },
+      [this, txn](RpcReply r) {
+        if (!r.status.ok()) {
+          AbortAll(txn);
+          return;
+        }
+        txn->snapshot_ts = r.ts;
         ExecuteNextOp(txn);
       });
-    });
-  });
 }
 
 void SimCluster::ExecuteNextOp(TxnPtr txn) {
@@ -131,29 +314,55 @@ void SimCluster::ExecuteNextOp(TxnPtr txn) {
 }
 
 void SimCluster::RunOpOnDn(TxnPtr txn, int dn_index, SysbenchOp op) {
-  CnNode& cn = cns_[txn->cn];
-  DnNode* dn = dns_[dn_index].get();
-  // CN -> DN statement message.
-  net_->Send(cn.node, dn->leader_node, 256, [this, txn, dn_index, op] {
-    DnNode* dn = dns_[dn_index].get();
-    dn->server->Execute(config_.dn_op_us, [this, txn, dn_index, op] {
+  uint64_t vseed = uint64_t(op.key) * 1315423911ULL + txn->next_op;
+  GlobalTxnId gid = txn->gid;
+  Timestamp snapshot_ts = txn->snapshot_ts;
+  uint32_t coord = cns_[txn->cn].coordinator_id;
+  // The branch id the CN knows, captured once so every retry attempt of
+  // this statement carries the same view. Invalid means the branch may not
+  // exist yet — the DN dedups BeginBranch by global id, so a retried first
+  // statement cannot fork a second branch.
+  auto known = txn->branches.find(dn_index);
+  TxnId known_branch =
+      known == txn->branches.end() ? kInvalidTxnId : known->second;
+
+  auto handler = [this, dn_index, op, vseed, gid, snapshot_ts, coord,
+                  known_branch](NodeId to,
+                                std::function<void(RpcReply)> reply) {
+    // Self-re-runnable op closure: prepared-wait re-executes it when the
+    // blocking writer resolves. The stored function holds only a weak
+    // self-reference; whoever schedules a run holds the strong one.
+    auto run_op = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak = run_op;
+    *run_op = [this, dn_index, op, vseed, gid, snapshot_ts, coord,
+               known_branch, to, reply, weak] {
       DnNode* dn = dns_[dn_index].get();
-      // First statement on this participant starts the branch; shipping
-      // snapshot_ts performs ClockUpdate on the DN (§IV step 3).
-      auto it = txn->branches.find(dn_index);
-      TxnId branch;
-      if (it == txn->branches.end()) {
+      if (to != dn->serving_node) {
+        reply(RpcReply{Status::NotLeader("dn leader moved")});
+        return;
+      }
+      TxnId branch = known_branch;
+      if (branch == kInvalidTxnId) {
+        // First statement on this participant starts the branch; shipping
+        // snapshot_ts performs ClockUpdate on the DN (§IV step 3).
         if (config_.scheme == TsScheme::kHlcSi) {
-          dn->hlc->Update(txn->snapshot_ts);
+          dn->hlc->Update(snapshot_ts);
         }
-        branch = dn->engine->Begin(txn->snapshot_ts);
-        txn->branches[dn_index] = branch;
+        branch = dn->engine->BeginBranch(snapshot_ts, gid, coord);
       } else {
-        branch = it->second;
+        // The CN already holds acked writes on this branch. If a failover
+        // lost it (recovery presumed it aborted), those writes are gone:
+        // the transaction must abort, never silently restart on a fresh
+        // branch with half its writes missing.
+        auto cur = dn->engine->BranchOf(gid);
+        if (!cur.ok() || *cur != branch) {
+          reply(RpcReply{Status::Aborted("branch lost in dn failover")});
+          return;
+        }
       }
 
       Status s = Status::Ok();
-      Rng value_rng(uint64_t(op.key) * 1315423911ULL + txn->next_op);
+      Rng value_rng(vseed);
       switch (op.type) {
         case SysbenchOp::Type::kPointRead: {
           Row row;
@@ -161,13 +370,13 @@ void SimCluster::RunOpOnDn(TxnPtr txn, int dn_index, SysbenchOp op) {
           s = dn->engine->Read(branch, table_id_, EncodeKey({op.key}), &row,
                                &blocker);
           if (s.IsBusy() && blocker != kInvalidTxnId) {
-            // Prepared-wait: retry once the blocker resolves.
-            TxnPtr txn_copy = txn;
-            SysbenchOp op_copy = op;
-            int dn_copy = dn_index;
-            dn->engine->OnResolved(blocker, [this, txn_copy, dn_copy,
-                                             op_copy] {
-              RunOpOnDn(txn_copy, dn_copy, op_copy);
+            // Prepared-wait: re-run once the blocker resolves. If a
+            // failover destroys the engine (and with it this waiter), the
+            // CN-side attempt timeout re-drives the op on the new leader.
+            auto self = weak.lock();
+            dn->engine->OnResolved(blocker, [this, dn_index, self] {
+              dns_[dn_index]->server->Execute(config_.dn_op_us,
+                                              [self] { (*self)(); });
             });
             return;  // resumed later
           }
@@ -201,15 +410,27 @@ void SimCluster::RunOpOnDn(TxnPtr txn, int dn_index, SysbenchOp op) {
           break;
         }
       }
-      bool ok = s.ok();
-      // DN -> CN reply.
-      net_->Send(dn->leader_node, cns_[txn->cn].node, 128,
-                 [this, txn, ok] {
-                   if (!ok) txn->failed = true;
-                   ExecuteNextOp(txn);
-                 });
-    });
-  });
+      RpcReply r;
+      r.status = s;
+      r.branch = branch;
+      reply(r);
+    };
+    dns_[dn_index]->server->Execute(config_.dn_op_us,
+                                    [run_op] { (*run_op)(); });
+  };
+
+  CnRpc(
+      txn->cn, txn->cn_incarnation,
+      [this, dn_index] {
+        auto ep = gms_.DnEndpoint(uint32_t(dn_index));
+        return ep.ok() ? *ep : dns_[dn_index]->serving_node;
+      },
+      256, 128, /*resolve_via_gms=*/true, handler,
+      [this, txn, dn_index](RpcReply r) {
+        if (r.branch != kInvalidTxnId) txn->branches[dn_index] = r.branch;
+        if (!r.status.ok()) txn->failed = true;
+        ExecuteNextOp(txn);
+      });
 }
 
 void SimCluster::BeginCommit(TxnPtr txn) {
@@ -225,106 +446,335 @@ void SimCluster::BeginCommit(TxnPtr txn) {
     Finish(txn, true);
     return;
   }
+  StepHook(txn, CommitStep::kBeforePrepare);
+  if (!CnLive(txn->cn, txn->cn_incarnation)) return;
   SendPrepares(txn);
 }
 
 void SimCluster::SendPrepares(TxnPtr txn) {
   txn->pending_acks = txn->branches.size();
+  // The first branch's DN doubles as the commit-point participant: its
+  // decision registry is where the outcome becomes durable.
+  uint32_t owner_engine = dns_[txn->branches.begin()->first]->engine_id;
   for (auto& [dn_index, branch] : txn->branches) {
     int dn_copy = dn_index;
     TxnId branch_copy = branch;
-    net_->Send(cns_[txn->cn].node, dns_[dn_index]->leader_node, 128,
-               [this, txn, dn_copy, branch_copy] {
+    auto handler = [this, dn_copy, branch_copy, owner_engine](
+                       NodeId to, std::function<void(RpcReply)> reply) {
       DnNode* dn = dns_[dn_copy].get();
-      dn->server->Execute(config_.dn_op_us, [this, txn, dn_copy,
-                                             branch_copy] {
+      if (to != dn->serving_node) {
+        reply(RpcReply{Status::NotLeader("dn leader moved")});
+        return;
+      }
+      dn->server->Execute(config_.dn_op_us, [this, dn_copy, branch_copy,
+                                             owner_engine, to, reply] {
         DnNode* dn = dns_[dn_copy].get();
-        auto prep = dn->engine->Prepare(branch_copy);
+        if (to != dn->serving_node) {
+          reply(RpcReply{Status::NotLeader("dn leader moved")});
+          return;
+        }
+        // Idempotent: re-preparing a PREPARED branch returns its
+        // prepare_ts. A branch lost to a failover fails here (recovery
+        // presumed it aborted) and the transaction aborts.
+        auto prep = dn->engine->Prepare(branch_copy, owner_engine);
         if (!prep.ok()) {
-          net_->Send(dn->leader_node, cns_[txn->cn].node, 64,
-                     [this, txn] {
-                       txn->failed = true;
-                       if (--txn->pending_acks == 0) AbortAll(txn);
-                     });
+          reply(RpcReply{prep.status()});
           return;
         }
         Timestamp prepare_ts = *prep;
-        // The prepare (and all the transaction's redo) must be durable on a
-        // majority of datacenters before ACKing (§III). Asynchronous
-        // commit: no DN thread blocks; the callback fires on DLSN advance.
+        // The prepare (and all the transaction's redo) must be durable on
+        // a majority of datacenters before ACKing (§III). Asynchronous
+        // commit: no DN thread blocks; the callback fires on DLSN advance,
+        // or fails if a leader change truncates the log underneath it.
         dn->leader->NotifyNewData();
-        Lsn end_lsn = dn->log->current_lsn();
-        dn->committer->Submit(end_lsn, [this, txn, dn_copy, prepare_ts] {
-          DnNode* dn = dns_[dn_copy].get();
-          net_->Send(dn->leader_node, cns_[txn->cn].node, 64,
-                     [this, txn, prepare_ts] {
-                       txn->max_prepare_ts =
-                           std::max(txn->max_prepare_ts, prepare_ts);
-                       if (--txn->pending_acks == 0) {
-                         if (txn->failed) {
-                           AbortAll(txn);
-                         } else {
-                           SendCommits(txn);
-                         }
-                       }
-                     });
-        });
+        Lsn end_lsn = dn->leader->log()->current_lsn();
+        dn->committer->Submit(
+            end_lsn,
+            [reply, prepare_ts] {
+              RpcReply r;
+              r.ts = prepare_ts;
+              reply(r);
+            },
+            [reply] {
+              reply(RpcReply{
+                  Status::Unavailable("prepare lost to log truncation")});
+            });
       });
-    });
+    };
+    CnRpc(
+        txn->cn, txn->cn_incarnation,
+        [this, dn_copy] {
+          auto ep = gms_.DnEndpoint(uint32_t(dn_copy));
+          return ep.ok() ? *ep : dns_[dn_copy]->serving_node;
+        },
+        128, 64, /*resolve_via_gms=*/true, handler,
+        [this, txn](RpcReply r) {
+          if (!r.status.ok()) {
+            txn->failed = true;
+          } else {
+            txn->max_prepare_ts = std::max(txn->max_prepare_ts, r.ts);
+          }
+          if (--txn->pending_acks != 0) return;
+          if (txn->failed) {
+            AbortAll(txn);
+            return;
+          }
+          StepHook(txn, CommitStep::kAllPrepared);
+          if (!CnLive(txn->cn, txn->cn_incarnation)) return;
+          if (config_.scheme == TsScheme::kHlcSi) {
+            // §IV step 5: commit_ts = max(prepare_ts); one ClockUpdate.
+            txn->commit_ts = txn->max_prepare_ts;
+            cns_[txn->cn].hlc->Update(txn->commit_ts);
+            SendDecide(txn);
+            return;
+          }
+          // TSO-SI: another round trip for the commit timestamp. The
+          // branches are prepared but no decision exists yet, so a TSO
+          // outage here still aborts cleanly.
+          CnRpc(
+              txn->cn, txn->cn_incarnation, [this] { return tso_node_; },
+              32, 32, /*resolve_via_gms=*/false,
+              [this](NodeId, std::function<void(RpcReply)> reply) {
+                tso_server_->Execute(config_.tso_service_us, [this, reply] {
+                  RpcReply r;
+                  r.ts = tso_service_->Next();
+                  reply(r);
+                });
+              },
+              [this, txn](RpcReply r) {
+                if (!r.status.ok()) {
+                  AbortAll(txn);
+                  return;
+                }
+                txn->commit_ts = r.ts;
+                SendDecide(txn);
+              });
+        });
   }
+}
+
+void SimCluster::SendDecide(TxnPtr txn) {
+  int owner = txn->branches.begin()->first;
+  GlobalTxnId gid = txn->gid;
+  Timestamp cts = txn->commit_ts;
+  auto handler = [this, owner, gid, cts](NodeId to,
+                                         std::function<void(RpcReply)> reply) {
+    DnNode* dn = dns_[owner].get();
+    if (to != dn->serving_node) {
+      reply(RpcReply{Status::NotLeader("dn leader moved")});
+      return;
+    }
+    dn->server->Execute(config_.dn_op_us, [this, owner, gid, cts, to,
+                                           reply] {
+      DnNode* dn = dns_[owner].get();
+      if (to != dn->serving_node) {
+        reply(RpcReply{Status::NotLeader("dn leader moved")});
+        return;
+      }
+      // Commit point: first-writer-wins against an in-doubt resolver that
+      // presumed this coordinator dead. Aborted means the resolver won.
+      auto decided = dn->engine->DecideCommit(gid, cts);
+      if (!decided.ok()) {
+        reply(RpcReply{decided.status()});
+        return;
+      }
+      Timestamp decided_ts = *decided;
+      dn->leader->NotifyNewData();
+      dn->committer->Submit(
+          dn->leader->log()->current_lsn(),
+          [reply, decided_ts] {
+            RpcReply r;
+            r.ts = decided_ts;
+            reply(r);
+          },
+          [reply] {
+            reply(RpcReply{
+                Status::Unavailable("decision lost to log truncation")});
+          });
+    });
+  };
+  CnRpc(
+      txn->cn, txn->cn_incarnation,
+      [this, owner] {
+        auto ep = gms_.DnEndpoint(uint32_t(owner));
+        return ep.ok() ? *ep : dns_[owner]->serving_node;
+      },
+      96, 64, /*resolve_via_gms=*/true, handler,
+      [this, txn](RpcReply r) {
+        if (r.status.ok()) {
+          txn->commit_ts = r.ts;
+          StepHook(txn, CommitStep::kDecided);
+          if (!CnLive(txn->cn, txn->cn_incarnation)) return;
+          SendCommits(txn);
+          return;
+        }
+        if (r.status.IsAborted()) {
+          // An in-doubt resolver won with an abort decision; follow it.
+          AbortAll(txn);
+          return;
+        }
+        if (config_.enable_retry) {
+          // Outcome unknown: the decision may be durable at the owner, so
+          // aborting could split the transaction. Keep re-driving; the
+          // chaos plans always heal, so this terminates.
+          sched_->ScheduleAfter(4 * config_.rpc_timeout_us, [this, txn] {
+            if (CnLive(txn->cn, txn->cn_incarnation)) SendDecide(txn);
+          });
+          return;
+        }
+        Finish(txn, false);  // guard mode: abandoned in doubt
+      });
 }
 
 void SimCluster::SendCommits(TxnPtr txn) {
-  CnNode& cn = cns_[txn->cn];
-  auto do_commit = [this, txn](Timestamp commit_ts) {
-    if (config_.scheme == TsScheme::kHlcSi) {
-      // Single ClockUpdate with the max prepare_ts (§IV optimization 2).
-      cns_[txn->cn].hlc->Update(commit_ts);
-    }
-    txn->pending_acks = txn->branches.size();
-    for (auto& [dn_index, branch] : txn->branches) {
-      int dn_copy = dn_index;
-      TxnId branch_copy = branch;
-      net_->Send(cns_[txn->cn].node, dns_[dn_index]->leader_node, 128,
-                 [this, txn, dn_copy, branch_copy, commit_ts] {
-        DnNode* dn = dns_[dn_copy].get();
-        dn->server->Execute(config_.dn_op_us, [this, txn, dn_copy,
-                                               branch_copy, commit_ts] {
-          DnNode* dn = dns_[dn_copy].get();
-          dn->engine->Commit(branch_copy, commit_ts);
-          dn->leader->NotifyNewData();
-          Lsn end_lsn = dn->log->current_lsn();
-          dn->committer->Submit(end_lsn, [this, txn, dn_copy] {
-            DnNode* dn = dns_[dn_copy].get();
-            net_->Send(dn->leader_node, cns_[txn->cn].node, 64,
-                       [this, txn] {
-                         if (--txn->pending_acks == 0) Finish(txn, true);
-                       });
-          });
-        });
-      });
-    }
-  };
-
-  if (config_.scheme == TsScheme::kHlcSi) {
-    do_commit(txn->max_prepare_ts);  // commit_ts = max(prepare_ts), local
-    return;
+  txn->commit_acks = 0;
+  txn->pending_acks = txn->branches.size();
+  for (auto& [dn_index, branch] : txn->branches) {
+    SendCommitTo(txn, dn_index, branch);
   }
-  // TSO-SI: another round trip for the commit timestamp.
-  net_->Send(cn.node, tso_node_, 32, [this, txn, do_commit] {
-    tso_server_->Execute(config_.tso_service_us, [this, txn, do_commit] {
-      Timestamp ts = tso_service_->Next();
-      net_->Send(tso_node_, cns_[txn->cn].node, 32,
-                 [ts, do_commit] { do_commit(ts); });
+}
+
+void SimCluster::SendCommitTo(TxnPtr txn, int dn_index, TxnId branch) {
+  Timestamp cts = txn->commit_ts;
+  auto handler = [this, dn_index, branch, cts](
+                     NodeId to, std::function<void(RpcReply)> reply) {
+    DnNode* dn = dns_[dn_index].get();
+    if (to != dn->serving_node) {
+      reply(RpcReply{Status::NotLeader("dn leader moved")});
+      return;
+    }
+    dn->server->Execute(config_.dn_op_us, [this, dn_index, branch, cts, to,
+                                           reply] {
+      DnNode* dn = dns_[dn_index].get();
+      if (to != dn->serving_node) {
+        reply(RpcReply{Status::NotLeader("dn leader moved")});
+        return;
+      }
+      Status s = dn->engine->Commit(branch, cts);  // idempotent on retry
+      if (!s.ok()) {
+        reply(RpcReply{s});
+        return;
+      }
+      dn->leader->NotifyNewData();
+      dn->committer->Submit(
+          dn->leader->log()->current_lsn(),
+          [reply] { reply(RpcReply{}); },
+          [reply] {
+            reply(RpcReply{
+                Status::Unavailable("commit lost to log truncation")});
+          });
     });
-  });
+  };
+  CnRpc(
+      txn->cn, txn->cn_incarnation,
+      [this, dn_index] {
+        auto ep = gms_.DnEndpoint(uint32_t(dn_index));
+        return ep.ok() ? *ep : dns_[dn_index]->serving_node;
+      },
+      128, 64, /*resolve_via_gms=*/true, handler,
+      [this, txn, dn_index, branch](RpcReply r) {
+        if (!r.status.ok()) {
+          if (config_.enable_retry && !r.status.IsAborted() &&
+              !r.status.IsNotFound()) {
+            // The decision is durable; this branch MUST commit. Keep
+            // re-driving it (the branch stays prepared meanwhile, or was
+            // already committed by recovery — Commit is idempotent).
+            sched_->ScheduleAfter(4 * config_.rpc_timeout_us,
+                                  [this, txn, dn_index, branch] {
+                                    if (CnLive(txn->cn,
+                                               txn->cn_incarnation)) {
+                                      SendCommitTo(txn, dn_index, branch);
+                                    }
+                                  });
+            return;  // pending_acks stays held by this branch
+          }
+        } else {
+          ++txn->commit_acks;
+          if (txn->commit_acks == 1) {
+            StepHook(txn, CommitStep::kFirstCommitAcked);
+            if (!CnLive(txn->cn, txn->cn_incarnation)) return;
+          }
+        }
+        if (--txn->pending_acks == 0) {
+          Finish(txn, txn->commit_acks == txn->branches.size());
+        }
+      });
 }
 
 void SimCluster::AbortAll(TxnPtr txn) {
-  for (auto& [dn_index, branch] : txn->branches) {
-    dns_[dn_index]->engine->Abort(branch);
+  // Presumed abort: no commit decision was (or can any longer be) written
+  // for this transaction. The abort must land on each branch's SERVING
+  // engine and replicate before it counts: an abort applied to a crashed
+  // leader's in-memory engine is lost, and the durably PREPARED branch
+  // would resurrect on promotion with nobody left to resolve it (recovery
+  // only covers dead coordinators).
+  if (txn->branches.empty()) {
+    Finish(txn, false);
+    return;
   }
-  Finish(txn, false);
+  txn->pending_acks = txn->branches.size();
+  for (auto& [dn_index, branch] : txn->branches) {
+    SendAbortTo(txn, dn_index, branch);
+  }
+}
+
+void SimCluster::SendAbortTo(TxnPtr txn, int dn_index, TxnId branch) {
+  auto handler = [this, dn_index, branch](
+                     NodeId to, std::function<void(RpcReply)> reply) {
+    DnNode* dn = dns_[dn_index].get();
+    if (to != dn->serving_node) {
+      reply(RpcReply{Status::NotLeader("dn leader moved")});
+      return;
+    }
+    dn->server->Execute(config_.dn_op_us, [this, dn_index, branch, to,
+                                           reply] {
+      DnNode* dn = dns_[dn_index].get();
+      if (to != dn->serving_node) {
+        reply(RpcReply{Status::NotLeader("dn leader moved")});
+        return;
+      }
+      Status s = dn->engine->Abort(branch);  // idempotent on retry
+      if (s.IsNotFound()) {
+        // The branch died unprepared with a failed-over leader: nothing
+        // durable to undo.
+        reply(RpcReply{});
+        return;
+      }
+      if (!s.ok()) {
+        reply(RpcReply{s});
+        return;
+      }
+      dn->leader->NotifyNewData();
+      dn->committer->Submit(
+          dn->leader->log()->current_lsn(),
+          [reply] { reply(RpcReply{}); },
+          [reply] {
+            reply(RpcReply{
+                Status::Unavailable("abort lost to log truncation")});
+          });
+    });
+  };
+  CnRpc(
+      txn->cn, txn->cn_incarnation,
+      [this, dn_index] {
+        auto ep = gms_.DnEndpoint(uint32_t(dn_index));
+        return ep.ok() ? *ep : dns_[dn_index]->serving_node;
+      },
+      96, 64, /*resolve_via_gms=*/true, handler,
+      [this, txn, dn_index, branch](RpcReply r) {
+        if (!r.status.ok() && config_.enable_retry && r.status.retryable()) {
+          // A PREPARED branch must not outlive its live coordinator's
+          // abort; keep re-driving until the (healed) leader takes it.
+          sched_->ScheduleAfter(4 * config_.rpc_timeout_us,
+                                [this, txn, dn_index, branch] {
+                                  if (CnLive(txn->cn, txn->cn_incarnation)) {
+                                    SendAbortTo(txn, dn_index, branch);
+                                  }
+                                });
+          return;  // pending_acks stays held by this branch
+        }
+        if (--txn->pending_acks == 0) Finish(txn, false);
+      });
 }
 
 void SimCluster::Finish(TxnPtr txn, bool ok) {
@@ -337,6 +787,378 @@ void SimCluster::Finish(TxnPtr txn, bool ok) {
   }
   auto done = std::move(txn->done);
   if (done) done(ok, latency);
+}
+
+// ---------------------------------------------------------------------------
+// Background daemons: CN lease heartbeats, DN failover monitor, in-doubt
+// recovery
+// ---------------------------------------------------------------------------
+
+void SimCluster::HeartbeatTick() {
+  for (auto& cn : cns_) {
+    if (cn.alive) gms_.CoordinatorHeartbeat(cn.coordinator_id, sched_->Now());
+  }
+  sched_->ScheduleAfter(config_.cn_heartbeat_us, [this] { HeartbeatTick(); });
+}
+
+void SimCluster::FailoverTick() {
+  for (int i = 0; i < int(dns_.size()); ++i) MaybePromote(i);
+  sched_->ScheduleAfter(config_.failover_poll_us, [this] { FailoverTick(); });
+}
+
+void SimCluster::MaybePromote(int dn_index) {
+  DnNode* dn = dns_[dn_index].get();
+  // Highest-epoch live member claiming leadership. Paxos elections run
+  // underneath; this monitor only decides when the serving side (engine,
+  // endpoint) switches over to the winner.
+  PaxosMember* best = nullptr;
+  for (auto& m : dn->paxos->members()) {
+    if (m->role() == PaxosRole::kLeader && net_->IsNodeUp(m->node())) {
+      if (best == nullptr || m->epoch() > best->epoch()) best = m.get();
+    }
+  }
+  if (best == nullptr) return;  // election in progress: keep serving as-is
+  if (best->node() == dn->serving_node) {
+    dn->serving_epoch = best->epoch();
+    return;
+  }
+  bool serving_up = net_->IsNodeUp(dn->serving_node) &&
+                    dn->leader->role() == PaxosRole::kLeader;
+  if (serving_up && best->epoch() <= dn->serving_epoch) return;
+  Promote(dn_index, best);
+}
+
+void SimCluster::Promote(int dn_index, PaxosMember* member) {
+  DnNode* dn = dns_[dn_index].get();
+  dn->serving_node = member->node();
+  dn->serving_epoch = member->epoch();
+  dn->leader = member;
+  dn->committer = dn->committers.at(member->node()).get();
+  // Rebuild the serving state from the new leader's replicated log: redo
+  // replay reconstructs the table, RecoverState reconstructs transaction
+  // state. Durably-prepared branches survive — the election up-to-date
+  // rule guarantees the new leader holds every majority-acked byte — and
+  // unresolved active branches are presumed aborted (their locks freed).
+  std::vector<RedoRecord> recs;
+  member->log()->ReadRecords(1, member->log()->current_lsn(), &recs);
+  dn->catalog = std::make_unique<TableCatalog>();
+  dn->catalog->CreateTable(table_id_, "sbtest", Sysbench::TableSchema(), 0);
+  RedoApplier applier(dn->catalog.get());
+  applier.ApplyAll(recs);
+  TxnEngineOptions opts;
+  opts.use_prepare_ts_filter = config_.scheme == TsScheme::kHlcSi;
+  dn->engine = std::make_unique<TxnEngine>(dn->engine_id, dn->catalog.get(),
+                                           dn->hlc.get(), member->log(),
+                                           dn->pool.get(), opts);
+  dn->engine->RecoverState(recs);
+  gms_.SetDnEndpoint(uint32_t(dn_index), member->node());
+  ++stats_.leader_failovers;
+}
+
+// ---------------------------------------------------------------------------
+// In-doubt recovery: resolving branches orphaned by dead coordinators
+// ---------------------------------------------------------------------------
+
+struct SimCluster::RecoverySweep {
+  std::set<uint32_t> dead;
+  /// One global transaction's branches as discovered across the DNs.
+  struct Global {
+    uint32_t owner = 0;  // commit-point engine id (0: never prepared)
+    std::map<int, TxnId> branches;  // dn index -> branch
+  };
+  std::map<GlobalTxnId, Global> globals;
+  size_t pending = 0;
+  bool all_listings_ok = true;
+};
+
+int SimCluster::FirstAliveCn() const {
+  for (size_t i = 0; i < cns_.size(); ++i) {
+    if (cns_[i].alive) return int(i);
+  }
+  return -1;
+}
+
+void SimCluster::RecoveryTick() {
+  sched_->ScheduleAfter(config_.recovery_poll_us, [this] { RecoveryTick(); });
+  if (recovery_in_flight_) {
+    // The sweeping CN may itself have died mid-sweep; un-stick the flag so
+    // another CN takes over next tick.
+    if (recovery_cn_ < 0 || CnLive(recovery_cn_, recovery_cn_inc_)) return;
+    recovery_in_flight_ = false;
+  }
+  std::vector<uint32_t> dead =
+      gms_.ExpiredCoordinators(sched_->Now(), config_.coordinator_lease_us);
+  if (dead.empty()) return;  // fault-free: zero cost, zero network traffic
+  int cn = FirstAliveCn();
+  if (cn < 0) return;
+  recovery_in_flight_ = true;
+  recovery_cn_ = cn;
+  recovery_cn_inc_ = cns_[cn].incarnation;
+  auto sweep = std::make_shared<RecoverySweep>();
+  sweep->dead.insert(dead.begin(), dead.end());
+  RecoveryCollect(cn, recovery_cn_inc_, sweep);
+}
+
+void SimCluster::RecoveryCollect(int cn_index, uint64_t inc,
+                                 std::shared_ptr<RecoverySweep> sweep) {
+  sweep->pending = dns_.size();
+  for (int i = 0; i < int(dns_.size()); ++i) {
+    auto handler = [this, i, sweep](NodeId to,
+                                    std::function<void(RpcReply)> reply) {
+      DnNode* dn = dns_[i].get();
+      if (to != dn->serving_node) {
+        reply(RpcReply{Status::NotLeader("dn leader moved")});
+        return;
+      }
+      dn->server->Execute(config_.dn_op_us, [this, i, sweep, to, reply] {
+        DnNode* dn = dns_[i].get();
+        if (to != dn->serving_node) {
+          reply(RpcReply{Status::NotLeader("dn leader moved")});
+          return;
+        }
+        RpcReply r;
+        // Unresolved branches owned by expired coordinator incarnations:
+        // prepared ones are in doubt, active ones hold row locks that
+        // their (dead) coordinator will never release.
+        for (const TxnInfo& info : dn->engine->TxnsSnapshot()) {
+          if (info.global_id == kInvalidGlobalTxnId) continue;
+          if (info.state != ::polarx::TxnState::kActive &&
+              info.state != ::polarx::TxnState::kPrepared) {
+            continue;
+          }
+          if (sweep->dead.count(info.coordinator) == 0) continue;
+          TxnInfo meta = info;
+          meta.writes.clear();  // listing needs identity, not payloads
+          r.in_doubt.push_back(std::move(meta));
+        }
+        reply(r);
+      });
+    };
+    CnRpc(
+        cn_index, inc,
+        [this, i] {
+          auto ep = gms_.DnEndpoint(uint32_t(i));
+          return ep.ok() ? *ep : dns_[i]->serving_node;
+        },
+        64, 512, /*resolve_via_gms=*/true, handler,
+        [this, cn_index, inc, i, sweep](RpcReply r) {
+          if (r.status.ok()) {
+            for (const TxnInfo& info : r.in_doubt) {
+              auto& g = sweep->globals[info.global_id];
+              if (info.commit_owner != 0) g.owner = info.commit_owner;
+              g.branches[i] = info.id;
+            }
+          } else {
+            sweep->all_listings_ok = false;  // retried on a later tick
+          }
+          if (--sweep->pending != 0) return;
+          if (sweep->globals.empty()) {
+            // Nothing left in doubt. Only if every DN answered can these
+            // expired incarnations be reaped — a failed listing could be
+            // hiding branches.
+            if (sweep->all_listings_ok) {
+              for (uint32_t id : sweep->dead) gms_.UnregisterCoordinator(id);
+            }
+            recovery_in_flight_ = false;
+            return;
+          }
+          RecoveryResolveGlobals(cn_index, inc, sweep);
+        });
+  }
+}
+
+void SimCluster::RecoveryResolveGlobals(int cn_index, uint64_t inc,
+                                        std::shared_ptr<RecoverySweep> sweep) {
+  sweep->pending = sweep->globals.size();
+  auto finish_one = [this, sweep] {
+    if (--sweep->pending == 0) recovery_in_flight_ = false;
+  };
+  for (auto& entry : sweep->globals) {
+    GlobalTxnId gid = entry.first;
+    RecoverySweep::Global* g = &entry.second;
+    // A transaction with NO prepared branch (owner unknown) cannot have a
+    // commit decision anywhere — the coordinator decides only after every
+    // branch acked prepare — so its branches abort directly.
+    if (g->owner == 0) {
+      sweep->pending += g->branches.size() - 1;  // gid slot -> its branches
+      for (auto& [dn_index, branch] : g->branches) {
+        RecoveryResolveBranch(cn_index, inc, dn_index, branch,
+                              /*commit=*/false, 0, finish_one);
+      }
+      continue;
+    }
+    int owner_dn = int(g->owner) - 1;
+    auto handler = [this, owner_dn, gid](NodeId to,
+                                         std::function<void(RpcReply)> reply) {
+      DnNode* dn = dns_[owner_dn].get();
+      if (to != dn->serving_node) {
+        reply(RpcReply{Status::NotLeader("dn leader moved")});
+        return;
+      }
+      dn->server->Execute(config_.dn_op_us, [this, owner_dn, gid, to,
+                                             reply] {
+        DnNode* dn = dns_[owner_dn].get();
+        if (to != dn->serving_node) {
+          reply(RpcReply{Status::NotLeader("dn leader moved")});
+          return;
+        }
+        // Follow an existing decision, else durably record presumed-abort
+        // BEFORE any branch is touched — if the "dead" coordinator is
+        // merely partitioned and races us with DecideCommit, exactly one
+        // side wins the registry and the other follows.
+        auto existing = dn->engine->DecisionOf(gid);
+        if (existing.ok()) {
+          RpcReply r;
+          r.has_decision = true;
+          r.decision = *existing;
+          reply(r);
+          return;
+        }
+        Status s = dn->engine->DecideAbort(gid);
+        if (s.IsConflict()) {
+          // Lost the race to a concurrent DecideCommit: follow it.
+          ++stats_.recovery_decide_races;
+          auto won = dn->engine->DecisionOf(gid);
+          if (!won.ok()) {
+            reply(RpcReply{won.status()});
+            return;
+          }
+          RpcReply r;
+          r.has_decision = true;
+          r.decision = *won;
+          reply(r);
+          return;
+        }
+        if (!s.ok()) {
+          reply(RpcReply{s});
+          return;
+        }
+        dn->leader->NotifyNewData();
+        dn->committer->Submit(
+            dn->leader->log()->current_lsn(),
+            [reply] {
+              RpcReply r;
+              r.has_decision = true;
+              r.decision = CommitDecision{};  // abort
+              reply(r);
+            },
+            [reply] {
+              reply(RpcReply{
+                  Status::Unavailable("decision lost to log truncation")});
+            });
+      });
+    };
+    CnRpc(
+        cn_index, inc,
+        [this, owner_dn] {
+          auto ep = gms_.DnEndpoint(uint32_t(owner_dn));
+          return ep.ok() ? *ep : dns_[owner_dn]->serving_node;
+        },
+        64, 64, /*resolve_via_gms=*/true, handler,
+        [this, cn_index, inc, g, sweep, finish_one](RpcReply r) {
+          if (!r.status.ok() || !r.has_decision) {
+            finish_one();  // retried on a later tick
+            return;
+          }
+          sweep->pending += g->branches.size() - 1;
+          for (auto& [dn_index, branch] : g->branches) {
+            RecoveryResolveBranch(cn_index, inc, dn_index, branch,
+                                  r.decision.commit, r.decision.commit_ts,
+                                  finish_one);
+          }
+        });
+  }
+}
+
+void SimCluster::RecoveryResolveBranch(int cn_index, uint64_t inc,
+                                       int dn_index, TxnId branch,
+                                       bool commit, Timestamp commit_ts,
+                                       std::function<void()> finish_one) {
+  auto handler = [this, dn_index, branch, commit, commit_ts](
+                     NodeId to, std::function<void(RpcReply)> reply) {
+    DnNode* dn = dns_[dn_index].get();
+    if (to != dn->serving_node) {
+      reply(RpcReply{Status::NotLeader("dn leader moved")});
+      return;
+    }
+    dn->server->Execute(config_.dn_op_us, [this, dn_index, branch, commit,
+                                           commit_ts, to, reply] {
+      DnNode* dn = dns_[dn_index].get();
+      if (to != dn->serving_node) {
+        reply(RpcReply{Status::NotLeader("dn leader moved")});
+        return;
+      }
+      // Commit/Abort are idempotent, so a branch the (revived) coordinator
+      // or an earlier sweep already resolved replies Ok.
+      Status s = commit ? dn->engine->Commit(branch, commit_ts)
+                        : dn->engine->Abort(branch);
+      if (!s.ok()) {
+        reply(RpcReply{s});
+        return;
+      }
+      dn->leader->NotifyNewData();
+      dn->committer->Submit(
+          dn->leader->log()->current_lsn(),
+          [reply] { reply(RpcReply{}); },
+          [reply] {
+            reply(RpcReply{
+                Status::Unavailable("resolution lost to log truncation")});
+          });
+    });
+  };
+  CnRpc(
+      cn_index, inc,
+      [this, dn_index] {
+        auto ep = gms_.DnEndpoint(uint32_t(dn_index));
+        return ep.ok() ? *ep : dns_[dn_index]->serving_node;
+      },
+      96, 64, /*resolve_via_gms=*/true, handler,
+      [this, commit, finish_one](RpcReply r) {
+        if (r.status.ok()) {
+          if (commit) {
+            ++stats_.recovery_resolved_commits;
+          } else {
+            ++stats_.recovery_resolved_aborts;
+          }
+        }
+        finish_one();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Fault wiring
+// ---------------------------------------------------------------------------
+
+void SimCluster::HandleNodeCrash(NodeId node) {
+  auto it = cn_of_node_.find(node);
+  if (it != cn_of_node_.end()) {
+    // The coordinator stops heartbeating; its lease expires and recovery
+    // resolves its unfinished transactions. DN member crashes need no
+    // cluster-level action here: the Paxos group re-elects underneath and
+    // the failover monitor switches the serving side.
+    cns_[it->second].alive = false;
+  }
+}
+
+void SimCluster::HandleNodeRestart(NodeId node) {
+  auto it = cn_of_node_.find(node);
+  if (it != cn_of_node_.end()) {
+    CnNode& cn = cns_[it->second];
+    cn.alive = true;
+    ++cn.incarnation;  // continuations from the previous life drop out
+    // A restarted CN is a NEW coordinator incarnation. The old id stays
+    // registered and unheartbeated — it must keep showing up as expired
+    // until recovery has resolved every transaction it left behind, and
+    // only recovery reaps it.
+    cn.coordinator_id = gms_.RegisterCoordinator(cn.dc, sched_->Now());
+    cn.next_global = 1;
+    return;
+  }
+  auto dit = dn_of_node_.find(node);
+  if (dit != dn_of_node_.end()) {
+    PaxosMember* m = dns_[dit->second]->paxos->member(node);
+    if (m != nullptr) m->Recover();
+  }
 }
 
 }  // namespace polarx

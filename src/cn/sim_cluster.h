@@ -11,16 +11,33 @@
 // DCs). In TSO-SI mode a TSO server sits in DC 0; every snapshot/commit
 // timestamp is a network round trip to it. In HLC-SI mode the CN's local
 // hybrid clock provides timestamps with no network cost.
+//
+// Survivability layer (chaos experiments): every CN-originated RPC goes
+// through a retry loop (capped exponential backoff with deterministic
+// jitter, per-attempt timeout, overall deadline — src/common/retry.h),
+// re-resolving the DN leader through GMS on kNotLeader/timeouts. CNs hold
+// GMS leases; when a coordinator's lease lapses, a surviving CN resolves
+// its in-doubt prepared branches through the commit-point decision registry
+// (src/txn/engine.h, src/txn/recovery.h describe the protocol). DN leader
+// crashes are detected by a failover monitor that promotes the newly
+// elected Paxos leader: catalog and transaction state are rebuilt from its
+// replicated redo log (RedoApplier + TxnEngine::RecoverState) and the GMS
+// endpoint map is updated so CNs re-route.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/clock/hlc.h"
 #include "src/clock/tso.h"
 #include "src/common/histogram.h"
+#include "src/common/retry.h"
+#include "src/common/rng.h"
 #include "src/consensus/paxos.h"
+#include "src/gms/gms.h"
 #include "src/sim/network.h"
 #include "src/sim/resource.h"
 #include "src/storage/buffer_pool.h"
@@ -29,6 +46,15 @@
 #include "src/workload/sysbench.h"
 
 namespace polarx {
+
+/// 2PC step boundaries reported to SimClusterConfig::commit_step_hook —
+/// the exact instants chaos tests kill coordinators at.
+enum class CommitStep : int {
+  kBeforePrepare = 1,   // write txn entering 2PC, nothing sent yet
+  kAllPrepared = 2,     // every branch ACKed prepare; decision not recorded
+  kDecided = 3,         // commit point durable; no commit fanned out yet
+  kFirstCommitAcked = 4 // one branch committed, others still prepared
+};
 
 struct SimClusterConfig {
   int num_dcs = 3;
@@ -45,12 +71,41 @@ struct SimClusterConfig {
   uint64_t table_size = 100000;
   PaxosConfig paxos;
   uint64_t seed = 7;
+
+  // ---- survivability knobs ----
+  /// Retry policy for CN->DN / CN->TSO / CN->GMS RPCs.
+  RetryPolicy rpc_retry;
+  /// Per-attempt timeout before a CN declares the RPC lost and retries.
+  /// Must sit well above worst-case DN queueing under saturation (a few
+  /// ms at the E1 client counts), or load alone triggers spurious
+  /// timeouts whose retries feed back into the queue (retry storm).
+  sim::SimTime rpc_timeout_us = 30000;
+  /// CN lease heartbeat period and GMS-side lease length.
+  sim::SimTime cn_heartbeat_us = 20 * 1000;
+  uint64_t coordinator_lease_us = 100 * 1000;
+  /// How often surviving CNs sweep for dead coordinators' in-doubt txns.
+  sim::SimTime recovery_poll_us = 50 * 1000;
+  /// How often the failover monitor checks DN leaders.
+  sim::SimTime failover_poll_us = 10 * 1000;
+  /// Guard-test switches: with retries off, RPC failures are terminal; with
+  /// recovery off, dead coordinators' prepared branches stay in doubt.
+  bool enable_retry = true;
+  bool enable_recovery = true;
+  /// Test hook fired at 2PC step boundaries of write transactions (see
+  /// CommitStep). Chaos tests use it to crash the coordinator at exactly
+  /// each boundary.
+  std::function<void(int cn_index, int step)> commit_step_hook;
 };
 
 /// End-to-end transaction statistics.
 struct SimClusterStats {
   uint64_t committed = 0;
   uint64_t aborted = 0;
+  uint64_t rpc_retries = 0;           // retry attempts beyond the first
+  uint64_t leader_failovers = 0;      // DN serving-leader promotions
+  uint64_t recovery_resolved_commits = 0;  // branches committed by recovery
+  uint64_t recovery_resolved_aborts = 0;   // branches aborted by recovery
+  uint64_t recovery_decide_races = 0;      // DecideAbort lost to a commit
   Histogram latency_us;
 };
 
@@ -60,20 +115,53 @@ class SimCluster {
              SimClusterConfig config);
   ~SimCluster();
 
-  /// Loads the sysbench table (committed rows on every DN shard).
+  /// Loads the sysbench table: committed rows on every DN shard, plus the
+  /// matching redo records in each DN leader's log so a failover rebuild
+  /// reproduces the data.
   void LoadSysbenchTable();
 
   /// Executes `txn` starting from CN `cn_index` (0-based across all CNs);
-  /// `done(ok, latency_us)` fires at completion on the virtual clock.
+  /// `done(ok, latency_us)` fires at completion on the virtual clock. If
+  /// the coordinating CN dies mid-flight, `done` never fires.
   void SubmitTxn(int cn_index, const SysbenchTxn& txn,
                  std::function<void(bool, sim::SimTime)> done);
 
   int num_cns() const { return int(cns_.size()); }
+  int num_dns() const { return int(dns_.size()); }
   const SimClusterStats& stats() const { return stats_; }
   void ResetStats() { stats_ = SimClusterStats{}; }
 
   /// Telemetry for assertions: cross-DC messages from TSO traffic etc.
   TsoService* tso() { return tso_service_.get(); }
+  Gms* gms() { return &gms_; }
+
+  // ---- fault wiring (chaos tests) ----
+
+  /// Called by fault-injector hooks right after the network marks `node`
+  /// down/up. CN crashes stop its coordinator (lease expires -> recovery);
+  /// CN restarts register a NEW coordinator incarnation. DN member
+  /// restarts rejoin their Paxos group.
+  void HandleNodeCrash(NodeId node);
+  void HandleNodeRestart(NodeId node);
+
+  NodeId cn_node(int cn_index) const { return cns_[cn_index].node; }
+  bool cn_alive(int cn_index) const { return cns_[cn_index].alive; }
+  uint32_t cn_coordinator_id(int cn_index) const {
+    return cns_[cn_index].coordinator_id;
+  }
+  /// All network nodes of DN group `dn_index` (leader + followers).
+  std::vector<NodeId> dn_member_nodes(int dn_index) const;
+  NodeId dn_serving_node(int dn_index) const {
+    return dns_[dn_index]->serving_node;
+  }
+  /// The engine currently serving DN `dn_index` (invariant checks).
+  TxnEngine* dn_engine(int dn_index) { return dns_[dn_index]->engine.get(); }
+  TableCatalog* dn_catalog(int dn_index) {
+    return dns_[dn_index]->catalog.get();
+  }
+  NodeId tso_node() const { return tso_node_; }
+  NodeId gms_node() const { return gms_node_; }
+  int DnOfKey(int64_t key) const;
 
  private:
   struct CnNode {
@@ -81,58 +169,136 @@ class SimCluster {
     DcId dc;
     std::unique_ptr<Hlc> hlc;
     std::unique_ptr<sim::Server> server;
+    bool alive = true;
+    /// Bumped on restart: continuations captured before a crash check this
+    /// and drop themselves (a restarted CN has no memory of old txns).
+    uint64_t incarnation = 1;
+    uint32_t coordinator_id = 0;
+    uint64_t next_global = 1;
+    Rng rng{0};  // retry jitter seeds (reseeded in ctor)
   };
   struct DnNode {
-    NodeId leader_node;
     DcId dc;
+    uint32_t engine_id = 0;  // stable across failovers (1-based dn index)
+    /// Network node currently serving reads/writes (the promoted leader)
+    /// and the epoch it was promoted at.
+    NodeId serving_node;
+    uint64_t serving_epoch = 0;
     std::unique_ptr<Hlc> hlc;
-    std::unique_ptr<RedoLog> log;              // leader log (paxos-owned)
-    std::vector<std::unique_ptr<RedoLog>> follower_logs;
-    TableCatalog catalog;
+    std::vector<std::unique_ptr<RedoLog>> member_logs;
+    std::unique_ptr<TableCatalog> catalog;
     CountingPageStore store;
     std::unique_ptr<BufferPool> pool;
     std::unique_ptr<TxnEngine> engine;
     std::unique_ptr<PaxosGroup> paxos;
-    PaxosMember* leader = nullptr;
-    std::unique_ptr<AsyncCommitter> committer;
+    PaxosMember* leader = nullptr;  // serving member
+    /// One committer per member, created once: AsyncCommitter registers
+    /// permanent callbacks on its member, so it must live as long as the
+    /// group. `committer` points at the serving member's.
+    std::map<NodeId, std::unique_ptr<AsyncCommitter>> committers;
+    AsyncCommitter* committer = nullptr;
     std::unique_ptr<sim::Server> server;
   };
 
   /// In-flight distributed transaction state (coordinator side).
   struct TxnState {
     int cn;
+    uint64_t cn_incarnation = 0;
+    GlobalTxnId gid = kInvalidGlobalTxnId;
     SysbenchTxn txn;
     size_t next_op = 0;
     Timestamp snapshot_ts = 0;
     std::map<int, TxnId> branches;  // dn index -> branch txn
     Timestamp max_prepare_ts = 0;
+    Timestamp commit_ts = 0;
     size_t pending_acks = 0;
+    size_t commit_acks = 0;
     bool failed = false;
     sim::SimTime start_time = 0;
     std::function<void(bool, sim::SimTime)> done;
   };
   using TxnPtr = std::shared_ptr<TxnState>;
 
-  int DnOfKey(int64_t key) const;
+  /// Wire format of an RPC reply (passed by value through the network
+  /// closures; fields used depend on the RPC).
+  struct RpcReply {
+    Status status;
+    Timestamp ts = 0;
+    TxnId branch = kInvalidTxnId;
+    bool has_decision = false;
+    CommitDecision decision;
+    std::vector<TxnInfo> in_doubt;  // recovery: prepared-branch listing
+  };
+  /// Runs server-side at the addressed node; must call the continuation
+  /// exactly once (possibly asynchronously, e.g. after a DLSN advance).
+  using RpcHandler =
+      std::function<void(NodeId target, std::function<void(RpcReply)>)>;
+
+  /// One CN-originated RPC with timeout + retry + leader re-resolution.
+  /// `target()` is re-evaluated per attempt (so a failover between
+  /// attempts routes to the new leader); `resolve_via_gms` inserts a GMS
+  /// round trip before re-attempts after kNotLeader/timeouts. `done` is
+  /// called exactly once — with the reply, or with the final failure —
+  /// unless the CN dies first (then never).
+  void CnRpc(int cn_index, uint64_t incarnation,
+             std::function<NodeId()> target, size_t req_bytes,
+             size_t resp_bytes, bool resolve_via_gms, RpcHandler handler,
+             std::function<void(RpcReply)> done);
+
+  bool CnLive(int cn_index, uint64_t incarnation) const {
+    return cns_[cn_index].alive &&
+           cns_[cn_index].incarnation == incarnation;
+  }
+  void StepHook(TxnPtr txn, CommitStep step);
+
   void AcquireSnapshot(TxnPtr txn);
   void ExecuteNextOp(TxnPtr txn);
   void RunOpOnDn(TxnPtr txn, int dn_index, SysbenchOp op);
   void BeginCommit(TxnPtr txn);
   void SendPrepares(TxnPtr txn);
+  void SendDecide(TxnPtr txn);
   void SendCommits(TxnPtr txn);
+  void SendCommitTo(TxnPtr txn, int dn_index, TxnId branch);
   void AbortAll(TxnPtr txn);
+  void SendAbortTo(TxnPtr txn, int dn_index, TxnId branch);
   void Finish(TxnPtr txn, bool ok);
+
+  // ---- background daemons (direct scheduler ticks; they draw no network
+  // randomness unless there is actual work, so fault-free runs keep their
+  // event/jitter sequences) ----
+  void HeartbeatTick();
+  void FailoverTick();
+  void MaybePromote(int dn_index);
+  void Promote(int dn_index, PaxosMember* member);
+  void RecoveryTick();
+  struct RecoverySweep;
+  void RecoveryCollect(int cn_index, uint64_t inc,
+                       std::shared_ptr<RecoverySweep> sweep);
+  void RecoveryResolveGlobals(int cn_index, uint64_t inc,
+                              std::shared_ptr<RecoverySweep> sweep);
+  void RecoveryResolveBranch(int cn_index, uint64_t inc, int dn_index,
+                             TxnId branch, bool commit, Timestamp commit_ts,
+                             std::function<void()> finish_one);
+  int FirstAliveCn() const;
 
   sim::Scheduler* sched_;
   sim::Network* net_;
   SimClusterConfig config_;
+  Gms gms_;
   std::vector<CnNode> cns_;
   std::vector<std::unique_ptr<DnNode>> dns_;
+  std::map<NodeId, int> cn_of_node_;
+  std::map<NodeId, int> dn_of_node_;  // any member node -> dn index
   NodeId tso_node_ = kInvalidNodeId;
+  NodeId gms_node_ = kInvalidNodeId;
   std::unique_ptr<TsoService> tso_service_;
   std::unique_ptr<sim::Server> tso_server_;
+  std::unique_ptr<sim::Server> gms_server_;
   SimClusterStats stats_;
   TableId table_id_ = 1;
+  bool recovery_in_flight_ = false;
+  int recovery_cn_ = -1;
+  uint64_t recovery_cn_inc_ = 0;
 };
 
 }  // namespace polarx

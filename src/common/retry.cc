@@ -1,0 +1,36 @@
+#include "src/common/retry.h"
+
+#include <algorithm>
+
+namespace polarx {
+
+RetryState::RetryState(const RetryPolicy& policy, uint64_t start_us,
+                       uint64_t seed)
+    : policy_(policy),
+      rng_(seed),
+      deadline_at_(policy.deadline_us == 0 ? 0
+                                           : start_us + policy.deadline_us),
+      next_backoff_us_(policy.initial_backoff_us) {}
+
+bool RetryState::ShouldRetry(const Status& s, uint64_t now_us) {
+  if (s.ok() || !s.retryable()) return false;
+  ++attempts_;
+  if (attempts_ + 1 > policy_.max_attempts) return false;
+  if (deadline_at_ != 0 && now_us >= deadline_at_) return false;
+  return true;
+}
+
+uint64_t RetryState::NextBackoffUs() {
+  uint64_t backoff = next_backoff_us_;
+  double grown = double(next_backoff_us_) * policy_.multiplier;
+  next_backoff_us_ = std::min<uint64_t>(uint64_t(grown),
+                                        policy_.max_backoff_us);
+  if (policy_.jitter > 0) {
+    double lo = 1.0 - std::min(policy_.jitter, 1.0);
+    double scale = lo + rng_.NextDouble() * (1.0 - lo);
+    backoff = uint64_t(double(backoff) * scale);
+  }
+  return backoff;
+}
+
+}  // namespace polarx

@@ -1,0 +1,70 @@
+// Generic retry policy for RPC-shaped operations: capped exponential
+// backoff with deterministic seeded jitter, an attempt cap, and an overall
+// deadline. Time is supplied by the caller (microseconds on whatever clock
+// it lives on — the sim kernel's virtual clock in tests and benches), so
+// the policy is clock-agnostic and fully reproducible.
+//
+// Which failures are worth retrying is a property of the Status code, not
+// of the call site: see IsRetryableCode in src/common/status.h. Routing
+// errors (kNotLeader, kLeaseExpired) are retryable but the caller must
+// re-resolve the destination before the next attempt.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace polarx {
+
+/// Knobs of one retry loop. The defaults suit intra-cluster RPCs on the
+/// simulated fabric (sub-millisecond one-way latencies).
+struct RetryPolicy {
+  /// Attempts including the first one; 1 disables retries.
+  uint32_t max_attempts = 8;
+  /// Backoff before attempt n+1 is min(initial * multiplier^(n-1), max),
+  /// scaled by jitter.
+  uint64_t initial_backoff_us = 500;
+  uint64_t max_backoff_us = 64 * 1000;
+  double multiplier = 2.0;
+  /// Each backoff is multiplied by U[1 - jitter, 1]; 0 disables jitter.
+  double jitter = 0.5;
+  /// Overall budget from the first attempt's start (0 = attempts-only).
+  uint64_t deadline_us = 500 * 1000;
+};
+
+/// Tracks one operation's retry loop. Usage:
+///
+///   RetryState retry(policy, now_us, seed);
+///   while (true) {
+///     Status s = TryOnce();
+///     if (!retry.ShouldRetry(s, now_us)) return s;
+///     SleepUs(retry.NextBackoffUs());
+///   }
+class RetryState {
+ public:
+  RetryState(const RetryPolicy& policy, uint64_t start_us, uint64_t seed);
+
+  /// True if the attempt that just failed with `s` should be retried:
+  /// `s` is retryable, attempts remain, and the deadline (measured at
+  /// `now_us`) is not exhausted. Ok statuses are never "retried".
+  bool ShouldRetry(const Status& s, uint64_t now_us);
+
+  /// Backoff to wait before the next attempt (call once per retry).
+  uint64_t NextBackoffUs();
+
+  /// Attempts recorded so far (ShouldRetry calls, capped at max_attempts).
+  uint32_t attempts() const { return attempts_; }
+
+  /// Virtual-time instant after which ShouldRetry always says no.
+  uint64_t deadline_at() const { return deadline_at_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  uint64_t deadline_at_;  // 0 = unbounded
+  uint32_t attempts_ = 0;
+  uint64_t next_backoff_us_;
+};
+
+}  // namespace polarx

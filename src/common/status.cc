@@ -32,8 +32,23 @@ std::string_view StatusCodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool IsRetryableCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kBusy:
+    case StatusCode::kTimedOut:
+    case StatusCode::kNotLeader:
+    case StatusCode::kLeaseExpired:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string Status::ToString() const {

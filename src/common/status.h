@@ -13,6 +13,24 @@ namespace polarx {
 
 /// Error categories used across the library. Values are stable and may be
 /// persisted in logs.
+///
+/// Each code carries a fixed retryability class (see IsRetryableCode):
+///
+///   retryable at the same operation (transient — the world may change
+///   underneath without the caller doing anything differently):
+///     kBusy          blocked by a PREPARED writer / queue full; wait + retry
+///     kTimedOut      per-attempt deadline hit; the op may still be in
+///                    flight, so retries must be idempotent
+///     kNotLeader     stale routing; re-resolve the leader, then retry
+///     kLeaseExpired  membership/lease churn; re-resolve, then retry
+///     kUnavailable   endpoint down or unreachable; backoff + retry
+///
+///   fatal for this attempt, retryable only as a NEW transaction:
+///     kAborted, kConflict (SI first-committer-wins)
+///
+///   fatal — retrying the identical request cannot succeed:
+///     kNotFound, kInvalidArgument, kCorruption, kNotSupported, kInternal,
+///     kOutOfRange, kResourceExhausted
 enum class StatusCode : int {
   kOk = 0,
   kNotFound = 1,
@@ -28,7 +46,15 @@ enum class StatusCode : int {
   kLeaseExpired = 11,    // tenant binding or leader lease no longer held
   kOutOfRange = 12,
   kResourceExhausted = 13,  // memory quota / capacity exceeded
+  kUnavailable = 14,        // node down / unreachable; retry after backoff
 };
+
+/// True if an operation failing with `code` may succeed when the identical
+/// request is retried (after backoff and, for routing errors, after
+/// re-resolving the destination). Transaction-level outcomes (kAborted,
+/// kConflict) are NOT retryable at this level: the whole transaction must
+/// restart with a fresh snapshot.
+bool IsRetryableCode(StatusCode code);
 
 /// Returns a human-readable name for a status code ("Ok", "NotFound", ...).
 std::string_view StatusCodeName(StatusCode code);
@@ -79,6 +105,9 @@ class Status {
   static Status ResourceExhausted(std::string msg = "") {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -91,6 +120,11 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// Shorthand for IsRetryableCode(code()): may the identical request be
+  /// retried (after backoff / re-routing)?
+  bool retryable() const { return IsRetryableCode(code_); }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

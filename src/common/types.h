@@ -15,6 +15,12 @@ inline constexpr Lsn kMaxLsn = std::numeric_limits<Lsn>::max();
 using TxnId = uint64_t;
 inline constexpr TxnId kInvalidTxnId = 0;
 
+/// Cluster-wide identifier of one distributed transaction, assigned by its
+/// coordinator (CN). Every participant branch of the transaction carries
+/// the same GlobalTxnId, which is what in-doubt recovery keys on.
+using GlobalTxnId = uint64_t;
+inline constexpr GlobalTxnId kInvalidGlobalTxnId = 0;
+
 /// Hybrid-logical-clock timestamp; see clock/hlc.h for the bit layout.
 using Timestamp = uint64_t;
 inline constexpr Timestamp kInvalidTimestamp = 0;

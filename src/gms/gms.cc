@@ -117,6 +117,62 @@ std::vector<DnInfo> Gms::Dns() const {
   return dns;
 }
 
+void Gms::SetDnEndpoint(uint32_t dn, NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dn_endpoints_[dn] = node;
+}
+
+Result<NodeId> Gms::DnEndpoint(uint32_t dn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dn_endpoints_.find(dn);
+  if (it == dn_endpoints_.end()) return Status::NotFound("dn has no endpoint");
+  return it->second;
+}
+
+uint32_t Gms::RegisterCoordinator(DcId dc, uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CoordinatorInfo info;
+  info.id = next_coordinator_++;
+  info.dc = dc;
+  info.last_heartbeat_us = now_us;
+  coordinators_[info.id] = info;
+  return info.id;
+}
+
+void Gms::CoordinatorHeartbeat(uint32_t id, uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = coordinators_.find(id);
+  if (it == coordinators_.end() || it->second.unregistered) return;
+  if (now_us > it->second.last_heartbeat_us) {
+    it->second.last_heartbeat_us = now_us;
+  }
+}
+
+void Gms::UnregisterCoordinator(uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = coordinators_.find(id);
+  if (it != coordinators_.end()) it->second.unregistered = true;
+}
+
+std::vector<uint32_t> Gms::ExpiredCoordinators(uint64_t now_us,
+                                               uint64_t lease_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> out;
+  for (const auto& [id, info] : coordinators_) {
+    if (info.unregistered) continue;
+    if (info.last_heartbeat_us + lease_us < now_us) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<CoordinatorInfo> Gms::Coordinators() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CoordinatorInfo> out;
+  out.reserve(coordinators_.size());
+  for (const auto& [id, info] : coordinators_) out.push_back(info);
+  return out;
+}
+
 Result<uint32_t> Gms::DnOfShard(TableId table, ShardId shard) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = shard_placement_.find({table, shard});

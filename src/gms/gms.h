@@ -36,6 +36,17 @@ struct MigrationStep {
   uint32_t dst_dn = 0;
 };
 
+/// A registered coordinator (CN) incarnation and its lease state. A CN that
+/// restarts registers a NEW incarnation; the old id stays expired forever,
+/// which is what lets in-doubt recovery treat "lease expired" as "this
+/// coordinator will never finish its transactions".
+struct CoordinatorInfo {
+  uint32_t id = 0;
+  DcId dc = 0;
+  uint64_t last_heartbeat_us = 0;
+  bool unregistered = false;  // clean shutdown / superseded incarnation
+};
+
 class Gms {
  public:
   Gms() = default;
@@ -69,6 +80,27 @@ class Gms {
   uint32_t RegisterDn(DcId dc);
   void SetDnAlive(uint32_t dn, bool alive);
   std::vector<DnInfo> Dns() const;
+
+  /// Current serving endpoint (Paxos leader node) of a DN group. CNs route
+  /// writes here and re-resolve after kNotLeader / timeouts; failover code
+  /// updates it when a new leader is promoted.
+  void SetDnEndpoint(uint32_t dn, NodeId node);
+  Result<NodeId> DnEndpoint(uint32_t dn) const;
+
+  // ---- coordinator (CN) leases ----
+
+  /// Registers a coordinator incarnation; returns its id (starts at 1).
+  uint32_t RegisterCoordinator(DcId dc, uint64_t now_us);
+  /// Renews a coordinator's lease. Unknown/unregistered ids are ignored.
+  void CoordinatorHeartbeat(uint32_t id, uint64_t now_us);
+  /// Clean shutdown (or supersession by a restart's new incarnation).
+  void UnregisterCoordinator(uint32_t id);
+  /// Coordinator incarnations whose lease lapsed: no heartbeat within
+  /// `lease_us` of `now_us` and never cleanly unregistered. These are the
+  /// dead coordinators whose prepared branches recovery must resolve.
+  std::vector<uint32_t> ExpiredCoordinators(uint64_t now_us,
+                                            uint64_t lease_us) const;
+  std::vector<CoordinatorInfo> Coordinators() const;
 
   /// Placement of a shard: which DN hosts (table, shard). Co-located for
   /// table-group members.
@@ -105,6 +137,9 @@ class Gms {
   std::map<TableId, Sequence> sequences_;
   TableGroupRegistry table_groups_;
   std::vector<DnInfo> dns_;
+  std::map<uint32_t, NodeId> dn_endpoints_;
+  uint32_t next_coordinator_ = 1;
+  std::map<uint32_t, CoordinatorInfo> coordinators_;
   /// (table, shard) -> dn
   std::map<std::pair<TableId, ShardId>, uint32_t> shard_placement_;
   /// table_group -> shard -> dn (authoritative for grouped tables)

@@ -76,6 +76,11 @@ Status RedoApplier::Apply(const RedoRecord& rec) {
     case RedoType::kCheckpoint:
     case RedoType::kDdl:
       return Status::Ok();
+    case RedoType::kTxnCommitPoint:
+    case RedoType::kTxnAbortPoint:
+      // 2PC decision records only matter to TxnEngine::RecoverState; row
+      // application is driven by the per-branch commit/abort records.
+      return Status::Ok();
   }
   return Status::Corruption("unknown redo record type");
 }

@@ -157,9 +157,21 @@ void EncodeRedoRecord(const RedoRecord& rec, std::string* out) {
       PutString(out, rec.key);
       break;
     case RedoType::kTxnPrepare:
+      PutU64(out, rec.ts);
+      PutU64(out, rec.global_txn);
+      PutU32(out, rec.coordinator);
+      PutU32(out, rec.commit_owner);
+      break;
     case RedoType::kTxnCommit:
     case RedoType::kCheckpoint:
       PutU64(out, rec.ts);
+      break;
+    case RedoType::kTxnCommitPoint:
+      PutU64(out, rec.ts);
+      PutU64(out, rec.global_txn);
+      break;
+    case RedoType::kTxnAbortPoint:
+      PutU64(out, rec.global_txn);
       break;
     case RedoType::kTxnAbort:
       break;
@@ -200,9 +212,21 @@ Status DecodeRedoBody(const std::string& body, RedoRecord* rec) {
       rec->key = r.Str();
       break;
     case RedoType::kTxnPrepare:
+      rec->ts = r.U64();
+      rec->global_txn = r.U64();
+      rec->coordinator = r.U32();
+      rec->commit_owner = r.U32();
+      break;
     case RedoType::kTxnCommit:
     case RedoType::kCheckpoint:
       rec->ts = r.U64();
+      break;
+    case RedoType::kTxnCommitPoint:
+      rec->ts = r.U64();
+      rec->global_txn = r.U64();
+      break;
+    case RedoType::kTxnAbortPoint:
+      rec->global_txn = r.U64();
       break;
     case RedoType::kTxnAbort:
       break;

@@ -33,6 +33,13 @@ enum class RedoType : uint8_t {
   kPaxos = 7,       // MLOG_PAXOS
   kCheckpoint = 8,
   kDdl = 9,
+  /// 2PC decision records (Percolator-primary style): the coordinator's
+  /// commit/abort decision for a global transaction, durably logged at the
+  /// designated commit-point participant before phase 2 fans out. In-doubt
+  /// recovery reads these to resolve prepared branches of dead
+  /// coordinators.
+  kTxnCommitPoint = 10,
+  kTxnAbortPoint = 11,
 };
 
 /// Payload of an MLOG_PAXOS record (§III): fixed 64 bytes on the wire.
@@ -52,6 +59,13 @@ struct RedoRecord {
   std::string key;      // encoded primary key (kInsert/kUpdate/kDelete)
   Row row;              // new image (kInsert/kUpdate)
   Timestamp ts = 0;     // prepare_ts / commit_ts / checkpoint lsn payload
+  /// 2PC branch identity (kTxnPrepare, kTxnCommitPoint, kTxnAbortPoint):
+  /// the distributed transaction this branch belongs to, the coordinator
+  /// incarnation that owns it, and the engine id of the commit-point
+  /// participant holding the decision record.
+  GlobalTxnId global_txn = kInvalidGlobalTxnId;
+  uint32_t coordinator = 0;
+  uint32_t commit_owner = 0;
   PaxosMeta paxos;      // kPaxos only
   std::string ddl_blob; // kDdl only
 

@@ -1,6 +1,7 @@
 #include "src/txn/distributed.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace polarx {
@@ -9,10 +10,22 @@ namespace {
 /// Bounded retry loop for reads blocked by PREPARED writers: wait for the
 /// blocker to resolve, then retry the read.
 constexpr int kMaxPreparedWaitRetries = 64;
+
+/// Coordinators that are not given an explicit id still need distinct ones:
+/// global txn ids are namespaced by coordinator id, and two coordinators
+/// sharing an engine must never collide in its BeginBranch dedup map. Auto
+/// ids start high to stay clear of registry-assigned ids.
+std::atomic<uint32_t> g_auto_coordinator_id{1u << 20};
 }  // namespace
 
-TxnCoordinator::TxnCoordinator(TsScheme scheme, Hlc* cn_hlc, TsoService* tso)
-    : scheme_(scheme), cn_hlc_(cn_hlc), tso_(tso) {
+TxnCoordinator::TxnCoordinator(TsScheme scheme, Hlc* cn_hlc, TsoService* tso,
+                               uint32_t coordinator_id)
+    : scheme_(scheme),
+      cn_hlc_(cn_hlc),
+      tso_(tso),
+      coordinator_id_(coordinator_id != 0
+                          ? coordinator_id
+                          : g_auto_coordinator_id.fetch_add(1)) {
   assert(scheme_ == TsScheme::kTsoSi ? tso_ != nullptr : cn_hlc_ != nullptr);
 }
 
@@ -27,6 +40,8 @@ Timestamp TxnCoordinator::AcquireSnapshotTs() {
 DistributedTxn TxnCoordinator::Begin() {
   DistributedTxn txn;
   txn.snapshot_ts_ = AcquireSnapshotTs();
+  txn.global_id_ = (static_cast<GlobalTxnId>(coordinator_id_) << 32) |
+                   next_global_++;
   ++stats_.started;
   return txn;
 }
@@ -37,7 +52,8 @@ TxnId TxnCoordinator::BranchFor(DistributedTxn* txn, TxnEngine* engine) {
   // §IV step 3: shipping snapshot_ts to the participant implicitly performs
   // ClockUpdate(snapshot_ts) on its node clock.
   if (scheme_ == TsScheme::kHlcSi) engine->hlc()->Update(txn->snapshot_ts_);
-  TxnId id = engine->Begin(txn->snapshot_ts_);
+  TxnId id = engine->BeginBranch(txn->snapshot_ts_, txn->global_id_,
+                                 coordinator_id_);
   txn->branches_.emplace(engine, id);
   return id;
 }
@@ -114,14 +130,18 @@ Status TxnCoordinator::Commit(DistributedTxn* txn) {
     return Status::Ok();
   }
 
-  // Phase 1: prepare everywhere, collecting prepare timestamps.
+  // Phase 1: prepare everywhere, collecting prepare timestamps. The first
+  // branch's engine doubles as the commit-point participant ("commit
+  // owner"): its decision registry is where the outcome becomes durable.
+  TxnEngine* owner = txn->branches_.begin()->first;
   Timestamp max_prepare_ts = 0;
   for (auto& [engine, branch] : txn->branches_) {
-    Result<Timestamp> prep = engine->Prepare(branch);
+    Result<Timestamp> prep = engine->Prepare(branch, owner->engine_id());
     if (!prep.ok()) {
       Abort(txn);
       return prep.status();
     }
+    txn->prepare_started_ = true;
     max_prepare_ts = std::max(max_prepare_ts, *prep);
   }
 
@@ -136,25 +156,49 @@ Status TxnCoordinator::Commit(DistributedTxn* txn) {
     cn_hlc_->Update(max_prepare_ts);
   }
 
-  // Phase 2: commit everywhere. Prepared participants must not fail.
+  // Commit point: durably record the decision at the owner before any
+  // branch commits. If an in-doubt resolver already presumed us dead and
+  // won the race with an abort decision, we must follow it.
+  Result<Timestamp> decided = owner->DecideCommit(txn->global_id_,
+                                                  txn->commit_ts_);
+  if (!decided.ok()) {
+    Abort(txn);
+    return decided.status();
+  }
+
+  // Phase 2: commit everywhere. The decision is durable, so a branch-level
+  // failure here is a protocol violation, not something to swallow.
+  Status phase2 = Status::Ok();
   for (auto& [engine, branch] : txn->branches_) {
     Status s = engine->Commit(branch, txn->commit_ts_);
-    assert(s.ok() && "commit of a prepared branch must succeed");
-    (void)s;
+    if (!s.ok() && phase2.ok()) phase2 = s;
   }
   txn->resolved_ = true;
   ++stats_.committed;
-  return Status::Ok();
+  return phase2;
 }
 
 Status TxnCoordinator::Abort(DistributedTxn* txn) {
   if (txn->resolved_) return Status::InvalidArgument("txn already resolved");
+  Status violation = Status::Ok();
   for (auto& [engine, branch] : txn->branches_) {
-    engine->Abort(branch);
+    Status s = engine->Abort(branch);
+    // Aborting a COMMITTED branch is refused by the engine: some branch
+    // already applied a commit decision, so "aborting" the rest would
+    // tear the transaction. Surface it instead of swallowing it — the
+    // caller is reporting an abort that did not fully happen.
+    if (s.code() == StatusCode::kInvalidArgument && violation.ok()) {
+      violation = s;
+    }
   }
   txn->resolved_ = true;
   ++stats_.aborted;
-  return Status::Ok();
+  if (txn->prepare_started_) {
+    ++stats_.aborts_after_prepare;
+  } else {
+    ++stats_.aborts_before_prepare;
+  }
+  return violation;
 }
 
 }  // namespace polarx

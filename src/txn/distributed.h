@@ -41,12 +41,15 @@ class DistributedTxn {
   Timestamp commit_ts() const { return commit_ts_; }
   bool resolved() const { return resolved_; }
   size_t num_participants() const { return branches_.size(); }
+  GlobalTxnId global_id() const { return global_id_; }
 
  private:
   friend class TxnCoordinator;
   Timestamp snapshot_ts_ = 0;
   Timestamp commit_ts_ = 0;
+  GlobalTxnId global_id_ = kInvalidGlobalTxnId;
   bool resolved_ = false;
+  bool prepare_started_ = false;  // at least one branch reached PREPARED
   /// Participant engines -> branch transaction ids.
   std::map<TxnEngine*, TxnId> branches_;
 };
@@ -56,6 +59,15 @@ struct CoordinatorStats {
   uint64_t started = 0;
   uint64_t committed = 0;
   uint64_t aborted = 0;
+  /// Split of `aborted` by where in 2PC the abort happened: before any
+  /// branch was prepared (cheap, nothing was in doubt) vs after (the
+  /// in-doubt window recovery exists for).
+  uint64_t aborts_before_prepare = 0;
+  uint64_t aborts_after_prepare = 0;
+  /// Transactions of this coordinator whose outcome was driven by the
+  /// in-doubt resolver instead of the coordinator itself (see
+  /// NoteRecoveryResolved).
+  uint64_t recovery_resolved = 0;
   uint64_t one_shard_commits = 0;  // 1PC fast path (single participant)
   uint64_t tso_calls = 0;
 };
@@ -64,10 +76,14 @@ struct CoordinatorStats {
 class TxnCoordinator {
  public:
   /// For kHlcSi, `cn_hlc` is this CN's clock and `tso` may be null.
-  /// For kTsoSi, `tso` must be non-null.
-  TxnCoordinator(TsScheme scheme, Hlc* cn_hlc, TsoService* tso);
+  /// For kTsoSi, `tso` must be non-null. `coordinator_id` identifies this
+  /// coordinator incarnation in prepare records (what in-doubt recovery
+  /// matches dead coordinators against) and namespaces global txn ids.
+  TxnCoordinator(TsScheme scheme, Hlc* cn_hlc, TsoService* tso,
+                 uint32_t coordinator_id = 0);
 
   TsScheme scheme() const { return scheme_; }
+  uint32_t coordinator_id() const { return coordinator_id_; }
 
   /// Starts a distributed transaction (acquires snapshot_ts).
   DistributedTxn Begin();
@@ -98,6 +114,11 @@ class TxnCoordinator {
 
   Status Abort(DistributedTxn* txn);
 
+  /// Records that `n` of this coordinator's transactions were resolved by
+  /// the in-doubt resolver (called by the recovery path after it decides
+  /// globals belonging to this coordinator incarnation).
+  void NoteRecoveryResolved(uint64_t n) { stats_.recovery_resolved += n; }
+
   CoordinatorStats stats() const { return stats_; }
 
  private:
@@ -109,6 +130,8 @@ class TxnCoordinator {
   TsScheme scheme_;
   Hlc* cn_hlc_;
   TsoService* tso_;
+  const uint32_t coordinator_id_;
+  uint64_t next_global_ = 1;
   CoordinatorStats stats_;
 };
 

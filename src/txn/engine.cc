@@ -1,6 +1,10 @@
 #include "src/txn/engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -32,6 +36,32 @@ TxnId TxnEngine::Begin(Timestamp snapshot_ts) {
   return id;
 }
 
+TxnId TxnEngine::BeginBranch(Timestamp snapshot_ts, GlobalTxnId global_id,
+                             uint32_t coordinator) {
+  if (snapshot_ts == 0) snapshot_ts = hlc_->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto existing = branches_.find(global_id);
+  if (existing != branches_.end()) return existing->second;  // retried Begin
+  TxnId id = (static_cast<TxnId>(engine_id_) << 40) |
+             next_txn_.fetch_add(1, std::memory_order_relaxed);
+  auto info = std::make_unique<TxnInfo>();
+  info->id = id;
+  info->snapshot_ts = snapshot_ts;
+  info->global_id = global_id;
+  info->coordinator = coordinator;
+  txns_.emplace(id, std::move(info));
+  branches_.emplace(global_id, id);
+  ++stats_.begun;
+  return id;
+}
+
+Result<TxnId> TxnEngine::BranchOf(GlobalTxnId global_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = branches_.find(global_id);
+  if (it == branches_.end()) return Status::NotFound("no branch for global");
+  return it->second;
+}
+
 TxnInfo* TxnEngine::FindTxnLocked(TxnId txn) {
   auto it = txns_.find(txn);
   return it == txns_.end() ? nullptr : it->second.get();
@@ -59,7 +89,42 @@ Result<TxnInfo> TxnEngine::InfoOf(TxnId txn) const {
   copy.snapshot_ts = info->snapshot_ts;
   copy.prepare_ts = info->prepare_ts;
   copy.commit_ts = info->commit_ts;
+  copy.global_id = info->global_id;
+  copy.coordinator = info->coordinator;
+  copy.commit_owner = info->commit_owner;
   return copy;
+}
+
+namespace {
+TxnInfo CopyMeta(const TxnInfo& info) {
+  TxnInfo copy;
+  copy.id = info.id;
+  copy.state = info.state;
+  copy.snapshot_ts = info.snapshot_ts;
+  copy.prepare_ts = info.prepare_ts;
+  copy.commit_ts = info.commit_ts;
+  copy.global_id = info.global_id;
+  copy.coordinator = info.coordinator;
+  copy.commit_owner = info.commit_owner;
+  return copy;
+}
+}  // namespace
+
+std::vector<TxnInfo> TxnEngine::PreparedBranches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnInfo> out;
+  for (const auto& [id, info] : txns_) {
+    if (info->state == TxnState::kPrepared) out.push_back(CopyMeta(*info));
+  }
+  return out;
+}
+
+std::vector<TxnInfo> TxnEngine::TxnsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnInfo> out;
+  out.reserve(txns_.size());
+  for (const auto& [id, info] : txns_) out.push_back(CopyMeta(*info));
+  return out;
 }
 
 TxnEngine::Visibility TxnEngine::CheckVisibility(const VersionPtr& v,
@@ -266,10 +331,16 @@ Status TxnEngine::Delete(TxnId txn, TableId table, const EncodedKey& key) {
   return Write(txn, table, key, Row{}, /*deleted=*/true, RedoType::kDelete);
 }
 
-Result<Timestamp> TxnEngine::Prepare(TxnId txn) {
+Result<Timestamp> TxnEngine::Prepare(TxnId txn, uint32_t commit_owner) {
   std::unique_lock<std::mutex> lock(mu_);
   TxnInfo* info = FindTxnLocked(txn);
   if (info == nullptr) return Status::NotFound("txn unknown");
+  // A retried Prepare RPC (reply lost, coordinator timed out) must not
+  // re-log or mint a new prepare_ts: return the one already durable.
+  if (info->state == TxnState::kPrepared ||
+      info->state == TxnState::kCommitted) {
+    return info->prepare_ts;
+  }
   if (info->state != TxnState::kActive) {
     return Status::Aborted("txn not active at prepare");
   }
@@ -277,16 +348,65 @@ Result<Timestamp> TxnEngine::Prepare(TxnId txn) {
   // versions are still heads because later writers would have conflicted.
   info->state = TxnState::kPrepared;
   info->prepare_ts = hlc_->Advance();
+  info->commit_owner = commit_owner;
 
   RedoRecord rec;
   rec.type = RedoType::kTxnPrepare;
   rec.txn_id = txn;
   rec.ts = info->prepare_ts;
+  rec.global_txn = info->global_id;
+  rec.coordinator = info->coordinator;
+  rec.commit_owner = commit_owner;
   MtrHandle mtr = log_->AppendMtr({rec});
   // Redo must be durable locally before the participant ACKs prepare (§III:
   // flushed to PolarFS before commit).
   log_->MarkFlushed(mtr.end_lsn);
   return info->prepare_ts;
+}
+
+Result<Timestamp> TxnEngine::DecideCommit(GlobalTxnId global_id,
+                                          Timestamp commit_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = decisions_.find(global_id);
+  if (it != decisions_.end()) {
+    if (it->second.commit) return it->second.commit_ts;  // retried decide
+    return Status::Aborted("abort decision already recorded");
+  }
+  decisions_.emplace(global_id, CommitDecision{true, commit_ts});
+  RedoRecord rec;
+  rec.type = RedoType::kTxnCommitPoint;
+  rec.ts = commit_ts;
+  rec.global_txn = global_id;
+  MtrHandle mtr = log_->AppendMtr({rec});
+  // The decision IS the commit point: it must survive a crash of this
+  // participant before any phase-2 commit is observable.
+  log_->MarkFlushed(mtr.end_lsn);
+  return commit_ts;
+}
+
+Status TxnEngine::DecideAbort(GlobalTxnId global_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = decisions_.find(global_id);
+  if (it != decisions_.end()) {
+    if (it->second.commit) {
+      return Status::Conflict("commit decision already recorded");
+    }
+    return Status::Ok();  // retried abort decision
+  }
+  decisions_.emplace(global_id, CommitDecision{false, kInvalidTimestamp});
+  RedoRecord rec;
+  rec.type = RedoType::kTxnAbortPoint;
+  rec.global_txn = global_id;
+  MtrHandle mtr = log_->AppendMtr({rec});
+  log_->MarkFlushed(mtr.end_lsn);
+  return Status::Ok();
+}
+
+Result<CommitDecision> TxnEngine::DecisionOf(GlobalTxnId global_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = decisions_.find(global_id);
+  if (it == decisions_.end()) return Status::NotFound("no decision");
+  return it->second;
 }
 
 Status TxnEngine::ResolveLocked(std::unique_lock<std::mutex>& lock,
@@ -403,6 +523,150 @@ void TxnEngine::OnResolved(TxnId txn, std::function<void()> fn) {
     }
   }
   fn();  // already resolved (or unknown): fire immediately
+}
+
+Status TxnEngine::RecoverState(const std::vector<RedoRecord>& records) {
+  // Pass 1 (no locks): fold the stream into per-transaction replay state.
+  struct Replay {
+    std::vector<std::pair<TableId, EncodedKey>> writes;
+    bool prepared = false;
+    bool committed = false;
+    bool aborted = false;
+    Timestamp prepare_ts = 0;
+    Timestamp commit_ts = 0;
+    GlobalTxnId global_id = kInvalidGlobalTxnId;
+    uint32_t coordinator = 0;
+    uint32_t commit_owner = 0;
+  };
+  std::map<TxnId, Replay> replays;  // ordered for deterministic replay
+  std::vector<std::pair<GlobalTxnId, CommitDecision>> decisions;
+  Timestamp max_ts = 0;
+  for (const RedoRecord& rec : records) {
+    switch (rec.type) {
+      case RedoType::kInsert:
+      case RedoType::kUpdate:
+      case RedoType::kDelete:
+        replays[rec.txn_id].writes.emplace_back(rec.table_id, rec.key);
+        break;
+      case RedoType::kTxnPrepare: {
+        Replay& r = replays[rec.txn_id];
+        r.prepared = true;
+        r.prepare_ts = rec.ts;
+        r.global_id = rec.global_txn;
+        r.coordinator = rec.coordinator;
+        r.commit_owner = rec.commit_owner;
+        max_ts = std::max(max_ts, rec.ts);
+        break;
+      }
+      case RedoType::kTxnCommit: {
+        Replay& r = replays[rec.txn_id];
+        r.committed = true;
+        r.commit_ts = rec.ts;
+        max_ts = std::max(max_ts, rec.ts);
+        break;
+      }
+      case RedoType::kTxnAbort:
+        replays[rec.txn_id].aborted = true;
+        break;
+      case RedoType::kTxnCommitPoint:
+        decisions.emplace_back(rec.global_txn, CommitDecision{true, rec.ts});
+        max_ts = std::max(max_ts, rec.ts);
+        break;
+      case RedoType::kTxnAbortPoint:
+        decisions.emplace_back(rec.global_txn,
+                               CommitDecision{false, kInvalidTimestamp});
+        break;
+      case RedoType::kPaxos:
+      case RedoType::kCheckpoint:
+      case RedoType::kDdl:
+        break;
+    }
+  }
+
+  // Pass 2 (table locks only): wire each unresolved transaction's
+  // still-uncommitted versions back to the catalog the applier rebuilt, so
+  // a later Commit can stamp them and an Abort can unlink them.
+  std::map<TxnId, std::vector<TxnInfo::WriteRef>> wired;
+  for (auto& [txn_id, r] : replays) {
+    if (r.committed || r.aborted) continue;
+    std::vector<TxnInfo::WriteRef>& refs = wired[txn_id];
+    std::set<std::pair<TableId, EncodedKey>> seen;
+    for (auto& [table, key] : r.writes) {
+      if (!seen.insert({table, key}).second) continue;
+      TableStore* ts = catalog_->FindTable(table);
+      if (ts == nullptr) continue;
+      for (VersionPtr v = ts->rows().Head(key); v != nullptr; v = v->prev) {
+        if (v->txn_id == txn_id &&
+            v->commit_ts.load(std::memory_order_acquire) ==
+                kInvalidTimestamp) {
+          refs.push_back(TxnInfo::WriteRef{table, key, v});
+        }
+      }
+    }
+  }
+
+  // Pass 3 (engine lock): install transaction state.
+  std::vector<std::pair<TxnId, std::vector<TxnInfo::WriteRef>>> presumed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t max_counter = 0;
+    for (auto& [txn_id, r] : replays) {
+      if ((txn_id >> 40) == engine_id_) {
+        max_counter = std::max<uint64_t>(
+            max_counter, txn_id & ((uint64_t(1) << 40) - 1));
+      }
+      auto info = std::make_unique<TxnInfo>();
+      info->id = txn_id;
+      info->prepare_ts = r.prepare_ts;
+      info->global_id = r.global_id;
+      info->coordinator = r.coordinator;
+      info->commit_owner = r.commit_owner;
+      if (r.committed) {
+        info->state = TxnState::kCommitted;
+        info->commit_ts = r.commit_ts;
+      } else if (r.aborted) {
+        info->state = TxnState::kAborted;
+      } else if (r.prepared) {
+        // In-doubt: hold writes until the coordinator (or the recovery
+        // resolver, if the coordinator is dead) decides.
+        info->state = TxnState::kPrepared;
+        info->writes = wired[txn_id];
+      } else {
+        // Writes but no prepare: the coordinator died before phase 1
+        // finished here. Presumed abort — nobody can ever commit this
+        // branch, and its uncommitted versions would block writers forever.
+        info->state = TxnState::kAborted;
+        ++stats_.aborted;
+        presumed.emplace_back(txn_id, std::move(wired[txn_id]));
+      }
+      if (r.global_id != kInvalidGlobalTxnId) {
+        branches_.emplace(r.global_id, txn_id);
+      }
+      txns_[txn_id] = std::move(info);
+    }
+    for (auto& [gid, d] : decisions) decisions_.emplace(gid, d);
+    uint64_t want = max_counter + 1;
+    if (next_txn_.load(std::memory_order_relaxed) < want) {
+      next_txn_.store(want, std::memory_order_relaxed);
+    }
+  }
+
+  // Pass 4 (table locks only): unlink presumed-aborted versions and log
+  // the aborts so a second recovery of this log sees them resolved.
+  for (auto& [txn_id, refs] : presumed) {
+    for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
+      TableStore* ts = catalog_->FindTable(it->table);
+      if (ts != nullptr) ts->rows().RemoveUncommitted(it->key, txn_id);
+    }
+    RedoRecord rec;
+    rec.type = RedoType::kTxnAbort;
+    rec.txn_id = txn_id;
+    MtrHandle mtr = log_->AppendMtr({rec});
+    log_->MarkFlushed(mtr.end_lsn);
+  }
+
+  if (max_ts != 0) hlc_->Update(max_ts);
+  return Status::Ok();
 }
 
 size_t TxnEngine::Vacuum(Timestamp before_ts) {

@@ -44,6 +44,12 @@ struct TxnInfo {
   Timestamp snapshot_ts = 0;
   Timestamp prepare_ts = 0;
   Timestamp commit_ts = 0;
+  /// 2PC branch identity: the distributed transaction this branch belongs
+  /// to (0 for purely local transactions), the coordinator incarnation
+  /// driving it, and the engine id of the commit-point participant.
+  GlobalTxnId global_id = kInvalidGlobalTxnId;
+  uint32_t coordinator = 0;
+  uint32_t commit_owner = 0;
   /// Writes installed by this transaction, for commit stamping / abort undo.
   struct WriteRef {
     TableId table;
@@ -51,6 +57,13 @@ struct TxnInfo {
     VersionPtr version;
   };
   std::vector<WriteRef> writes;
+};
+
+/// Durable coordinator decision for one global transaction, held by the
+/// commit-point participant (first-writer-wins; see DecideCommit).
+struct CommitDecision {
+  bool commit = false;
+  Timestamp commit_ts = kInvalidTimestamp;  // valid iff commit
 };
 
 /// Statistics for benchmarks and tests.
@@ -84,6 +97,7 @@ class TxnEngine {
   TableCatalog* catalog() { return catalog_; }
   Hlc* hlc() { return hlc_; }
   RedoLog* redo_log() { return log_; }
+  uint32_t engine_id() const { return engine_id_; }
 
   // ---- lifecycle ----
 
@@ -92,10 +106,48 @@ class TxnEngine {
   /// local ones; pass 0 to take a local snapshot).
   TxnId Begin(Timestamp snapshot_ts = 0);
 
+  /// Starts (or re-finds) the local branch of distributed transaction
+  /// `global_id` driven by coordinator incarnation `coordinator`.
+  /// Idempotent: a duplicate call (a retried Begin RPC after a lost reply)
+  /// returns the existing branch instead of minting a second one — this is
+  /// the dedup key that makes CN-side write retries safe.
+  TxnId BeginBranch(Timestamp snapshot_ts, GlobalTxnId global_id,
+                    uint32_t coordinator);
+
+  /// Branch of `global_id` at this engine, or NotFound.
+  Result<TxnId> BranchOf(GlobalTxnId global_id) const;
+
   /// First 2PC phase: validates and transitions to PREPARED, obtaining
   /// prepare_ts from ClockAdvance(). On success also durably logs the
-  /// prepare record.
-  Result<Timestamp> Prepare(TxnId txn);
+  /// prepare record (carrying the branch's global id, coordinator, and
+  /// `commit_owner`, the engine id of the commit-point participant — what
+  /// in-doubt recovery needs to resolve this branch after a crash).
+  /// Idempotent: re-preparing a PREPARED branch returns its prepare_ts
+  /// without logging again.
+  Result<Timestamp> Prepare(TxnId txn, uint32_t commit_owner = 0);
+
+  // ---- 2PC decision registry (commit-point participant role) ----
+  //
+  // Percolator-primary style commit point: before fanning out phase-2
+  // commits, the coordinator durably records its decision at ONE designated
+  // participant (the "commit owner", by convention the first branch's
+  // engine). Recovery consults this registry: decision present -> follow
+  // it; absent -> presumed abort, recorded via DecideAbort so a slow
+  // coordinator that wakes up later cannot contradict it. First writer
+  // wins; the loser is told what was decided.
+
+  /// Records "commit at commit_ts" for `global_id`. Fails with Aborted if
+  /// an abort decision already won the race. Durable before returning.
+  Result<Timestamp> DecideCommit(GlobalTxnId global_id, Timestamp commit_ts);
+
+  /// Records "abort" for `global_id` (presumed-abort resolution). Fails
+  /// with Conflict if a commit decision already won — the caller must then
+  /// re-read DecisionOf and commit the branches instead. Idempotent for
+  /// repeated aborts. Durable before returning.
+  Status DecideAbort(GlobalTxnId global_id);
+
+  /// The recorded decision for `global_id`, or NotFound if none yet.
+  Result<CommitDecision> DecisionOf(GlobalTxnId global_id) const;
 
   /// Second 2PC phase: stamps commit_ts (the coordinator's max prepare_ts)
   /// onto all written versions, logs the commit, wakes waiters, and calls
@@ -110,6 +162,31 @@ class TxnEngine {
   /// Looks up transaction state (kNotFound after GC).
   Result<TxnState> StateOf(TxnId txn) const;
   Result<TxnInfo> InfoOf(TxnId txn) const;
+
+  /// All branches currently in PREPARED (the in-doubt set a recovery
+  /// resolver asks a participant for). Metadata only, no write refs.
+  std::vector<TxnInfo> PreparedBranches() const;
+
+  /// Metadata snapshot of every transaction the engine remembers (tests /
+  /// invariant checkers). No write refs.
+  std::vector<TxnInfo> TxnsSnapshot() const;
+
+  // ---- crash recovery ----
+
+  /// Rebuilds transaction state from a replayed redo stream. Call after
+  /// RedoApplier has reconstructed the catalog from the same records:
+  ///   - PREPARED branches are re-registered in-doubt, their uncommitted
+  ///     versions re-wired from the catalog (so a later Commit/Abort can
+  ///     stamp or unlink them);
+  ///   - resolved transactions are re-registered so visibility checks and
+  ///     idempotent Commit/Abort keep working;
+  ///   - ACTIVE transactions (writes but no prepare/commit/abort — their
+  ///     coordinator died before prepare) are presumed-abort: versions
+  ///     unlinked, an abort record appended;
+  ///   - the decision registry is rebuilt from commit/abort-point records;
+  ///   - the txn-id counter advances past every recovered own id, and the
+  ///     HLC past every recovered timestamp.
+  Status RecoverState(const std::vector<RedoRecord>& records);
 
   // ---- reads ----
 
@@ -189,6 +266,10 @@ class TxnEngine {
   std::atomic<uint64_t> next_txn_{1};
   std::unordered_map<TxnId, std::unique_ptr<TxnInfo>> txns_;
   std::unordered_map<TxnId, std::vector<std::function<void()>>> waiters_;
+  /// global txn id -> local branch (BeginBranch dedup, recovery lookups).
+  std::unordered_map<GlobalTxnId, TxnId> branches_;
+  /// Commit-point registry for globals whose commit owner is this engine.
+  std::unordered_map<GlobalTxnId, CommitDecision> decisions_;
   TxnEngineStats stats_;
 };
 

@@ -1,0 +1,84 @@
+#include "src/txn/recovery.h"
+
+#include <map>
+
+namespace polarx {
+
+InDoubtResolver::InDoubtResolver(std::vector<TxnEngine*> engines)
+    : engines_(std::move(engines)) {}
+
+TxnEngine* InDoubtResolver::EngineById(uint32_t engine_id) const {
+  for (TxnEngine* e : engines_) {
+    if (e->engine_id() == engine_id) return e;
+  }
+  return nullptr;
+}
+
+ResolutionStats InDoubtResolver::Resolve(
+    const std::set<uint32_t>& dead_coordinators) {
+  ResolutionStats stats;
+
+  // Gather every in-doubt branch of a dead coordinator, grouped by global
+  // transaction. A branch with no global id cannot be resolved here (it is
+  // a local transaction; its engine's own recovery handles it).
+  struct Branch {
+    TxnEngine* engine;
+    TxnId txn;
+  };
+  struct Global {
+    uint32_t commit_owner = 0;
+    std::vector<Branch> branches;
+  };
+  std::map<GlobalTxnId, Global> globals;
+  for (TxnEngine* e : engines_) {
+    for (const TxnInfo& info : e->PreparedBranches()) {
+      if (info.global_id == kInvalidGlobalTxnId) continue;
+      if (dead_coordinators.count(info.coordinator) == 0) continue;
+      Global& g = globals[info.global_id];
+      g.commit_owner = info.commit_owner;
+      g.branches.push_back(Branch{e, info.id});
+    }
+  }
+
+  for (auto& [gid, g] : globals) {
+    TxnEngine* owner = EngineById(g.commit_owner);
+    if (owner == nullptr) continue;  // owner unreachable: stay in doubt
+
+    // Learn (or force) the decision at the commit-point participant.
+    CommitDecision decision;
+    Result<CommitDecision> existing = owner->DecisionOf(gid);
+    if (existing.ok()) {
+      decision = *existing;
+    } else {
+      // Presumed abort — but the abort must durably win at the owner
+      // before any branch is aborted, or a slow coordinator could still
+      // log a commit point and commit the other branches.
+      Status s = owner->DecideAbort(gid);
+      if (s.ok()) {
+        decision = CommitDecision{false, kInvalidTimestamp};
+      } else {
+        // Lost the race: a commit point landed first. Follow it.
+        ++stats.decision_races_lost;
+        Result<CommitDecision> won = owner->DecisionOf(gid);
+        if (!won.ok()) continue;  // cannot happen; stay in doubt
+        decision = *won;
+      }
+    }
+
+    ++stats.globals_resolved;
+    for (Branch& b : g.branches) {
+      if (decision.commit) {
+        if (b.engine->Commit(b.txn, decision.commit_ts).ok()) {
+          ++stats.branches_committed;
+        }
+      } else {
+        if (b.engine->Abort(b.txn).ok()) {
+          ++stats.branches_aborted;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace polarx

@@ -1,0 +1,55 @@
+// In-doubt transaction resolution (Spanner-style participant-led recovery).
+//
+// When a coordinator (CN) dies between phase 1 and phase 2 of 2PC, its
+// prepared branches are stranded: they hold write intents that block every
+// later writer, and only the coordinator knew the outcome. GMS detects the
+// dead coordinator via lease expiry; a surviving CN then resolves each of
+// its global transactions by consulting the commit-point participant's
+// durable decision registry (engine.h):
+//
+//   commit-point record present  -> COMMIT every branch at its commit_ts;
+//   no record                    -> presumed abort, but FIRST durably win
+//                                   the DecideAbort race at the owner, so a
+//                                   partitioned-but-alive coordinator that
+//                                   wakes up later cannot commit what we
+//                                   aborted (split-brain safety).
+//
+// This class is the synchronous, in-process form used by unit tests and by
+// a restarted coordinator colocated with its participants; SimCluster
+// implements the same state machine over simulated RPCs.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/txn/engine.h"
+
+namespace polarx {
+
+struct ResolutionStats {
+  uint64_t globals_resolved = 0;   // distinct global txns decided
+  uint64_t branches_committed = 0;
+  uint64_t branches_aborted = 0;
+  uint64_t decision_races_lost = 0;  // DecideAbort lost to a commit point
+};
+
+class InDoubtResolver {
+ public:
+  /// `engines` are the participants reachable by this resolver (in the
+  /// simulation: every DN's engine). Owner lookup is by engine_id.
+  explicit InDoubtResolver(std::vector<TxnEngine*> engines);
+
+  /// Resolves every prepared branch whose coordinator is in
+  /// `dead_coordinators`. Idempotent; safe to call repeatedly.
+  ResolutionStats Resolve(const std::set<uint32_t>& dead_coordinators);
+
+ private:
+  TxnEngine* EngineById(uint32_t engine_id) const;
+
+  std::vector<TxnEngine*> engines_;
+};
+
+}  // namespace polarx

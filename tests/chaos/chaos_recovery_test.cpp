@@ -1,0 +1,340 @@
+// Chaos suite for end-to-end transaction survivability on the simulated
+// multi-DC cluster (src/cn/sim_cluster.h): coordinator (CN) crashes at
+// every 2PC step boundary, DN Paxos leader flaps mid-commit, and TSO
+// outages — all under the retryable RPC layer, GMS-lease-driven in-doubt
+// recovery, and leader-failover-aware routing.
+//
+// Invariants, checked on every DN engine after the cluster quiesces:
+//
+//   R1  no branch is left PREPARED (in-doubt resolution terminates);
+//   R2  no ACTIVE branch of a distributed transaction remains (write
+//       intents of dead coordinators are released);
+//   R3  all branches of one global transaction agree on the outcome —
+//       all committed at the same commit_ts, or all aborted (atomicity);
+//   R4  committed branches satisfy commit_ts >= prepare_ts (HLC-SI
+//       monotonicity survives recovery and failover).
+//
+// A guard run with retries and recovery disabled must violate R1 — the
+// violation the survivability layer exists to prevent.
+//
+// A failing seed is replayable with POLARX_CHAOS_SEED=<seed>.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cn/sim_cluster.h"
+#include "src/sim/network.h"
+#include "src/sim/scheduler.h"
+#include "src/workload/sysbench.h"
+#include "tests/chaos/chaos_util.h"
+
+namespace polarx {
+namespace {
+
+constexpr sim::SimTime kMs = 1000;  // microseconds per millisecond
+
+/// A small 3-DC cluster (one CN per DC, 3 DN groups) under a chaos seed.
+struct ChaosFixture {
+  sim::Scheduler sched;
+  sim::Network net;
+  /// Indirection so the hook can be (re)assigned after the cluster exists.
+  std::shared_ptr<std::function<void(int, int)>> step_hook =
+      std::make_shared<std::function<void(int, int)>>();
+  std::unique_ptr<SimCluster> cluster;
+
+  explicit ChaosFixture(SimClusterConfig cfg)
+      : net(&sched, [] {
+          sim::NetworkConfig nc;
+          nc.jitter = 0;
+          return nc;
+        }()) {
+    cfg.num_dcs = 3;
+    cfg.cns_per_dc = 1;
+    cfg.num_dns = 3;
+    cfg.table_size = 400;
+    auto hook = step_hook;
+    cfg.commit_step_hook = [hook](int cn, int step) {
+      if (*hook) (*hook)(cn, step);
+    };
+    cluster = std::make_unique<SimCluster>(&sched, &net, cfg);
+    cluster->LoadSysbenchTable();
+  }
+
+  void CrashNode(NodeId node) {
+    net.SetNodeUp(node, false);
+    cluster->HandleNodeCrash(node);
+  }
+  void RestartNode(NodeId node) {
+    net.SetNodeUp(node, true);
+    cluster->HandleNodeRestart(node);
+  }
+
+  /// Starts a closed-loop write client on CN `cn`; decrements *remaining
+  /// per completion. If the CN dies mid-transaction the chain just stops.
+  void StartClient(int cn, int txns, std::shared_ptr<int> remaining,
+                   uint64_t seed) {
+    Sysbench bench({.mode = SysbenchMode::kWriteOnly, .table_size = 400});
+    auto rng = std::make_shared<Rng>(seed);
+    auto submit = std::make_shared<std::function<void(int)>>();
+    *submit = [this, cn, bench, rng, submit, remaining](int left) {
+      if (left <= 0) return;
+      cluster->SubmitTxn(cn, bench.NextTxn(rng.get()),
+                         [submit, left, remaining](bool, sim::SimTime) {
+                           --*remaining;
+                           (*submit)(left - 1);
+                         });
+    };
+    (*submit)(txns);
+  }
+
+  void RunUntil(sim::SimTime horizon) {
+    while (sched.Now() < horizon && sched.Step()) {
+    }
+  }
+};
+
+/// Checks invariants R1-R4 over every DN's transaction snapshot.
+/// `dead_coordinator` is the coordinator incarnation killed mid-2PC (0 if
+/// none); its branches especially must be fully resolved.
+void CheckSurvivabilityInvariants(SimCluster* cluster,
+                                  uint32_t dead_coordinator) {
+  struct BranchView {
+    int dn;
+    TxnInfo info;
+  };
+  std::map<GlobalTxnId, std::vector<BranchView>> by_global;
+  for (int d = 0; d < cluster->num_dns(); ++d) {
+    for (const TxnInfo& info : cluster->dn_engine(d)->TxnsSnapshot()) {
+      // R1: nothing in doubt anywhere.
+      EXPECT_NE(info.state, TxnState::kPrepared)
+          << "dn " << d << " branch " << info.id << " of global "
+          << info.global_id << " (coordinator " << info.coordinator
+          << ") left PREPARED";
+      if (info.global_id == kInvalidGlobalTxnId) continue;
+      // R2: no write intents held by unfinished distributed branches.
+      EXPECT_NE(info.state, TxnState::kActive)
+          << "dn " << d << " still holds intents of global "
+          << info.global_id << " (coordinator " << info.coordinator << ")";
+      by_global[info.global_id].push_back({d, info});
+    }
+  }
+  for (const auto& [gid, branches] : by_global) {
+    const bool dead = (gid >> 32) == dead_coordinator;
+    bool any_committed = false, any_aborted = false;
+    Timestamp commit_ts = 0;
+    for (const BranchView& b : branches) {
+      if (b.info.state == TxnState::kCommitted) {
+        any_committed = true;
+        if (commit_ts == 0) commit_ts = b.info.commit_ts;
+        // R3a: committed branches share one commit timestamp.
+        EXPECT_EQ(b.info.commit_ts, commit_ts)
+            << "global " << gid << " committed at different timestamps"
+            << (dead ? " (dead coordinator)" : "");
+        // R4: HLC-SI monotonicity.
+        EXPECT_GE(b.info.commit_ts, b.info.prepare_ts)
+            << "global " << gid << " dn " << b.dn
+            << " commit_ts below prepare_ts";
+      } else if (b.info.state == TxnState::kAborted) {
+        any_aborted = true;
+      }
+    }
+    // R3: one outcome per global transaction.
+    EXPECT_FALSE(any_committed && any_aborted)
+        << "global " << gid << " committed on some DNs and aborted on others"
+        << (dead ? " (dead coordinator)" : "");
+  }
+}
+
+// ---- main sweep: coordinator killed at every 2PC step boundary while a
+// DN leader flaps mid-run ----
+
+struct SweepTotals {
+  uint64_t rpc_retries = 0;
+  uint64_t leader_failovers = 0;
+  uint64_t recovery_resolved = 0;
+  int seeds_with_kill = 0;
+};
+
+void RunRecoveryChaos(uint64_t seed, SweepTotals* totals) {
+  SimClusterConfig cfg;
+  cfg.seed = seed;
+  ChaosFixture f(cfg);
+
+  const int victim_cn = int(seed % 3);
+  const int target_step = 1 + int(seed % 4);  // every CommitStep boundary
+  const int flap_dn = int((seed >> 2) % 3);
+
+  // Kill the coordinator the instant its write transaction reaches the
+  // target 2PC step. Capture the incarnation id for the invariant check.
+  auto killed = std::make_shared<bool>(false);
+  auto dead_coordinator = std::make_shared<uint32_t>(0);
+  ChaosFixture* fp = &f;
+  *f.step_hook = [fp, victim_cn, target_step, killed,
+                  dead_coordinator](int cn, int step) {
+    if (*killed || cn != victim_cn || step != target_step) return;
+    *killed = true;
+    *dead_coordinator = fp->cluster->cn_coordinator_id(victim_cn);
+    fp->CrashNode(fp->cluster->cn_node(victim_cn));
+  };
+
+  // Flap the DN leader mid-run: crash the original leader node at 60ms,
+  // bring it back (as a follower) at 700ms.
+  NodeId flap_node = f.cluster->dn_member_nodes(flap_dn)[0];
+  f.sched.ScheduleAfter(60 * kMs, [fp, flap_node] {
+    fp->CrashNode(flap_node);
+  });
+  f.sched.ScheduleAfter(700 * kMs, [fp, flap_node] {
+    fp->RestartNode(flap_node);
+  });
+
+  // Odd seeds also restart the victim CN (a NEW coordinator incarnation;
+  // the old one's transactions still need lease-expiry recovery).
+  if (seed % 2 == 1) {
+    f.sched.ScheduleAfter(1200 * kMs, [fp, victim_cn, killed] {
+      if (*killed) fp->RestartNode(fp->cluster->cn_node(victim_cn));
+    });
+  }
+
+  auto remaining = std::make_shared<int>(3 * 8);
+  for (int c = 0; c < 3; ++c) {
+    f.StartClient(c, 8, remaining, seed * 131 + uint64_t(c));
+  }
+  // Drive by horizon, not completion: the dead CN's client never finishes.
+  // 3 virtual seconds >> lease (100ms) + recovery poll (50ms) + flap window.
+  f.RunUntil(3000 * kMs);
+
+  CheckSurvivabilityInvariants(f.cluster.get(), *dead_coordinator);
+
+  // The cluster must still do useful work afterwards: fresh transactions
+  // from a surviving CN all complete.
+  int live_cn = (victim_cn + 1) % 3;
+  auto probe_left = std::make_shared<int>(10);
+  f.StartClient(live_cn, 10, probe_left, seed + 9999);
+  uint64_t committed_before = f.cluster->stats().committed;
+  f.RunUntil(f.sched.Now() + 2000 * kMs);
+  EXPECT_EQ(*probe_left, 0) << "cluster cannot make progress after chaos";
+  EXPECT_GT(f.cluster->stats().committed, committed_before)
+      << "post-chaos probe committed nothing";
+  CheckSurvivabilityInvariants(f.cluster.get(), *dead_coordinator);
+
+  const SimClusterStats& stats = f.cluster->stats();
+  totals->rpc_retries += stats.rpc_retries;
+  totals->leader_failovers += stats.leader_failovers;
+  totals->recovery_resolved +=
+      stats.recovery_resolved_commits + stats.recovery_resolved_aborts;
+  totals->seeds_with_kill += *killed ? 1 : 0;
+}
+
+TEST(ChaosRecoveryTest, CoordinatorKillsAtEveryStepSweep) {
+  SweepTotals totals;
+  chaos::SeedSweep(50, [&](uint64_t seed) {
+    RunRecoveryChaos(seed, &totals);
+  });
+  // Across the sweep, every survivability mechanism must actually fire:
+  // RPC retries (leader flaps force re-routing), leader failovers, and
+  // recovery-resolved branches (killed coordinators leave in-doubt work).
+  if (std::getenv("POLARX_CHAOS_SEED") == nullptr) {
+    EXPECT_GT(totals.seeds_with_kill, 40);
+    EXPECT_GT(totals.rpc_retries, 0u);
+    EXPECT_GT(totals.leader_failovers, 0u);
+    EXPECT_GT(totals.recovery_resolved, 0u);
+  }
+}
+
+// ---- guard: with the survivability layer disabled, the same fault leaves
+// branches in doubt — the violation recovery exists to prevent ----
+
+TEST(ChaosRecoveryTest, GuardWithoutRecoveryLeavesBranchesInDoubt) {
+  SimClusterConfig cfg;
+  cfg.seed = 3;
+  cfg.enable_retry = false;
+  cfg.enable_recovery = false;
+  ChaosFixture f(cfg);
+
+  // Kill CN 0 the moment all branches of one of its transactions are
+  // PREPARED but no decision is recorded: the canonical in-doubt window.
+  auto killed = std::make_shared<bool>(false);
+  ChaosFixture* fp = &f;
+  *f.step_hook = [fp, killed](int cn, int step) {
+    if (*killed || cn != 0 || step != int(CommitStep::kAllPrepared)) return;
+    *killed = true;
+    fp->CrashNode(fp->cluster->cn_node(0));
+  };
+
+  auto remaining = std::make_shared<int>(3 * 8);
+  for (int c = 0; c < 3; ++c) {
+    f.StartClient(c, 8, remaining, 17 + uint64_t(c));
+  }
+  f.RunUntil(3000 * kMs);
+
+  ASSERT_TRUE(*killed) << "fault never triggered";
+  int prepared = 0;
+  for (int d = 0; d < f.cluster->num_dns(); ++d) {
+    for (const TxnInfo& info : f.cluster->dn_engine(d)->TxnsSnapshot()) {
+      prepared += info.state == TxnState::kPrepared ? 1 : 0;
+    }
+  }
+  EXPECT_GT(prepared, 0)
+      << "without recovery the killed coordinator's prepared branches must "
+         "stay in doubt — if this passes, the guard lost its teeth";
+  EXPECT_EQ(f.cluster->stats().recovery_resolved_commits, 0u);
+  EXPECT_EQ(f.cluster->stats().recovery_resolved_aborts, 0u);
+}
+
+// ---- TSO outage: TSO-SI transactions retry with backoff then fail
+// cleanly; HLC-SI is untouched by construction ----
+
+TEST(ChaosRecoveryTest, TsoOutageFailsTsoSiTxnsCleanly) {
+  SimClusterConfig cfg;
+  cfg.seed = 11;
+  cfg.scheme = TsScheme::kTsoSi;
+  ChaosFixture f(cfg);
+
+  ChaosFixture* fp = &f;
+  f.sched.ScheduleAfter(30 * kMs, [fp] {
+    fp->net.SetNodeUp(fp->cluster->tso_node(), false);
+  });
+
+  auto remaining = std::make_shared<int>(3 * 6);
+  for (int c = 0; c < 3; ++c) {
+    f.StartClient(c, 6, remaining, 23 + uint64_t(c));
+  }
+  // Every transaction must finish: committed before the outage, or aborted
+  // after the retry budget (deadline 500ms) is exhausted — never hung.
+  f.RunUntil(20000 * kMs);
+  EXPECT_EQ(*remaining, 0)
+      << "a TSO-SI transaction hung instead of failing cleanly";
+  const SimClusterStats& stats = f.cluster->stats();
+  EXPECT_EQ(stats.committed + stats.aborted, 18u);
+  EXPECT_GT(stats.aborted, 0u) << "outage aborted nothing";
+  EXPECT_GT(stats.rpc_retries, 0u) << "TSO calls never retried";
+  CheckSurvivabilityInvariants(f.cluster.get(), 0);
+}
+
+TEST(ChaosRecoveryTest, TsoOutageDoesNotAffectHlcSi) {
+  SimClusterConfig cfg;
+  cfg.seed = 11;
+  cfg.scheme = TsScheme::kHlcSi;
+  ChaosFixture f(cfg);
+
+  ChaosFixture* fp = &f;
+  f.sched.ScheduleAfter(30 * kMs, [fp] {
+    fp->net.SetNodeUp(fp->cluster->tso_node(), false);
+  });
+
+  auto remaining = std::make_shared<int>(3 * 8);
+  for (int c = 0; c < 3; ++c) {
+    f.StartClient(c, 8, remaining, 23 + uint64_t(c));
+  }
+  f.RunUntil(20000 * kMs);
+  EXPECT_EQ(*remaining, 0) << "HLC-SI must not depend on the TSO";
+  const SimClusterStats& stats = f.cluster->stats();
+  EXPECT_EQ(stats.committed + stats.aborted, 24u);
+  EXPECT_GT(stats.committed, 0u);
+  EXPECT_EQ(f.cluster->tso()->requests_served(), 0u);
+}
+
+}  // namespace
+}  // namespace polarx

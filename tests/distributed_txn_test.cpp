@@ -352,6 +352,40 @@ TEST_P(DistributedBankTest, SnapshotAuditsAlwaysBalance) {
   EXPECT_GT(committed, 50);
 }
 
+TEST(CoordinatorStatsTest, AbortsSplitByPreparePhase) {
+  Cluster c(2);
+  TxnCoordinator coord(TsScheme::kHlcSi, &c.cn_hlc, &c.tso);
+
+  // Abort before any branch prepared: the cheap case, nothing in doubt.
+  DistributedTxn t1 = coord.Begin();
+  ASSERT_TRUE(coord.Upsert(&t1, c.engine(0), kTable, {int64_t{1}, int64_t{1}}).ok());
+  ASSERT_TRUE(coord.Upsert(&t1, c.engine(1), kTable, {int64_t{2}, int64_t{2}}).ok());
+  ASSERT_TRUE(coord.Abort(&t1).ok());
+  EXPECT_EQ(coord.stats().aborted, 1u);
+  EXPECT_EQ(coord.stats().aborts_before_prepare, 1u);
+  EXPECT_EQ(coord.stats().aborts_after_prepare, 0u);
+
+  // Abort after prepare: an in-doubt resolver presumed this coordinator
+  // dead and won the commit-point race with an abort decision, so Commit
+  // prepares both branches and then loses at DecideCommit. Record the abort
+  // at both engines since either can be the commit owner.
+  c.TickAll();
+  DistributedTxn t2 = coord.Begin();
+  ASSERT_TRUE(coord.Upsert(&t2, c.engine(0), kTable, {int64_t{3}, int64_t{3}}).ok());
+  ASSERT_TRUE(coord.Upsert(&t2, c.engine(1), kTable, {int64_t{4}, int64_t{4}}).ok());
+  ASSERT_TRUE(c.engine(0)->DecideAbort(t2.global_id()).ok());
+  ASSERT_TRUE(c.engine(1)->DecideAbort(t2.global_id()).ok());
+  EXPECT_TRUE(coord.Commit(&t2).IsAborted());
+  EXPECT_EQ(coord.stats().aborted, 2u);
+  EXPECT_EQ(coord.stats().aborts_before_prepare, 1u);
+  EXPECT_EQ(coord.stats().aborts_after_prepare, 1u);
+
+  // Recovery attribution is explicit, not inferred.
+  EXPECT_EQ(coord.stats().recovery_resolved, 0u);
+  coord.NoteRecoveryResolved(2);
+  EXPECT_EQ(coord.stats().recovery_resolved, 2u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SchemesSeedsSkews, DistributedBankTest,
     ::testing::Values(

@@ -1,0 +1,108 @@
+// Unit tests for the generic retry policy (src/common/retry.h) and the
+// retryable-vs-fatal Status classification it keys off.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/retry.h"
+#include "src/common/status.h"
+
+namespace polarx {
+namespace {
+
+TEST(StatusRetryabilityTest, TransientCodesAreRetryable) {
+  EXPECT_TRUE(Status::Busy("lock held").retryable());
+  EXPECT_TRUE(Status::TimedOut("rpc").retryable());
+  EXPECT_TRUE(Status::NotLeader("stale route").retryable());
+  EXPECT_TRUE(Status::LeaseExpired("churn").retryable());
+  EXPECT_TRUE(Status::Unavailable("node down").retryable());
+}
+
+TEST(StatusRetryabilityTest, FatalCodesAreNotRetryable) {
+  EXPECT_FALSE(Status::Ok().retryable());
+  EXPECT_FALSE(Status::InvalidArgument("bad").retryable());
+  EXPECT_FALSE(Status::NotFound("missing").retryable());
+  EXPECT_FALSE(Status::Conflict("write-write").retryable());
+  EXPECT_FALSE(Status::Aborted("txn").retryable());
+}
+
+TEST(RetryStateTest, RetryableFailuresRetryUpToAttemptCap) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.deadline_us = 0;  // attempts-only
+  RetryState retry(policy, /*start_us=*/0, /*seed=*/1);
+  int granted = 0;
+  // max_attempts includes the first attempt, so 4 attempts = 3 retries.
+  while (retry.ShouldRetry(Status::Unavailable("down"), /*now_us=*/0)) {
+    ++granted;
+    ASSERT_LT(granted, 100) << "retry loop never terminated";
+  }
+  EXPECT_EQ(granted, 3);
+}
+
+TEST(RetryStateTest, FatalFailureStopsImmediately) {
+  RetryPolicy policy;
+  RetryState retry(policy, 0, 1);
+  EXPECT_FALSE(retry.ShouldRetry(Status::Conflict("lost race"), 0));
+  EXPECT_FALSE(retry.ShouldRetry(Status::Aborted("txn aborted"), 0));
+  EXPECT_FALSE(retry.ShouldRetry(Status::Ok(), 0));
+}
+
+TEST(RetryStateTest, DeadlineCutsOffRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.deadline_us = 10 * 1000;
+  RetryState retry(policy, /*start_us=*/5000, /*seed=*/7);
+  EXPECT_EQ(retry.deadline_at(), 15000u);
+  EXPECT_TRUE(retry.ShouldRetry(Status::TimedOut("t"), /*now_us=*/14999));
+  EXPECT_FALSE(retry.ShouldRetry(Status::TimedOut("t"), /*now_us=*/15000));
+}
+
+TEST(RetryStateTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 100;
+  policy.max_backoff_us = 800;
+  policy.multiplier = 2.0;
+  policy.jitter = 0;  // deterministic nominal values
+  RetryState retry(policy, 0, 3);
+  EXPECT_EQ(retry.NextBackoffUs(), 100u);
+  EXPECT_EQ(retry.NextBackoffUs(), 200u);
+  EXPECT_EQ(retry.NextBackoffUs(), 400u);
+  EXPECT_EQ(retry.NextBackoffUs(), 800u);
+  EXPECT_EQ(retry.NextBackoffUs(), 800u);  // capped
+}
+
+TEST(RetryStateTest, JitterStaysWithinConfiguredBand) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.max_backoff_us = 1000;  // hold nominal constant
+  policy.jitter = 0.5;
+  RetryState retry(policy, 0, 42);
+  for (int i = 0; i < 32; ++i) {
+    uint64_t b = retry.NextBackoffUs();
+    EXPECT_GE(b, 500u);
+    EXPECT_LE(b, 1000u);
+  }
+}
+
+TEST(RetryStateTest, SameSeedYieldsIdenticalBackoffSequence) {
+  RetryPolicy policy;
+  RetryState a(policy, 0, 99);
+  RetryState b(policy, 0, 99);
+  std::vector<uint64_t> seq_a, seq_b;
+  for (int i = 0; i < 8; ++i) {
+    seq_a.push_back(a.NextBackoffUs());
+    seq_b.push_back(b.NextBackoffUs());
+  }
+  EXPECT_EQ(seq_a, seq_b);
+
+  RetryState c(policy, 0, 100);
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) {
+    if (c.NextBackoffUs() != seq_a[size_t(i)]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should jitter differently";
+}
+
+}  // namespace
+}  // namespace polarx
