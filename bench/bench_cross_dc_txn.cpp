@@ -9,9 +9,14 @@
 //
 // Runs on the discrete-event simulator: results are deterministic and in
 // virtual time.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "bench/bench_flags.h"
 #include "src/cn/sim_cluster.h"
 
 namespace polarx {
@@ -24,8 +29,24 @@ struct Sample {
   double p95_latency_ms;
 };
 
+/// Write-path knobs for one run: group commit on/off and the Paxos
+/// pipeline depth (1 = stop-and-wait). pipeline 0 keeps library defaults.
+struct WritePathKnobs {
+  bool group_commit = true;
+  int pipeline = 0;
+};
+
+void ApplyKnobs(SimClusterConfig* cfg, const WritePathKnobs& k) {
+  cfg->group_commit.enabled = k.group_commit;
+  if (k.pipeline > 0) {
+    cfg->paxos.pipelining = k.pipeline > 1;
+    cfg->paxos.max_inflight = size_t(k.pipeline);
+  }
+}
+
 Sample RunOne(TsScheme scheme, SysbenchMode mode, int clients,
-              sim::SimTime duration_us) {
+              sim::SimTime duration_us, WritePathKnobs knobs = {},
+              sim::SimTime dn_op_us = 50) {
   sim::Scheduler sched;
   sim::NetworkConfig nc;
   nc.inter_dc_one_way_us = 500;  // 1 ms RTT between DCs
@@ -35,9 +56,27 @@ Sample RunOne(TsScheme scheme, SysbenchMode mode, int clients,
   SimClusterConfig cfg;
   cfg.scheme = scheme;
   cfg.table_size = 100000;
-  cfg.dn_op_us = 50;  // 8-core DNs saturate within the client sweep
+  cfg.dn_op_us = dn_op_us;  // E1: 50 (8-core DNs saturate in the sweep)
+  ApplyKnobs(&cfg, knobs);
   SimCluster cluster(&sched, &net, cfg);
   cluster.LoadSysbenchTable();
+
+  // Let followers replicate the preloaded table before any client starts:
+  // at pipeline depth 1 the catch-up takes ~0.5 s of virtual time, and a
+  // commit cannot be acknowledged until DLSN passes the preload, so
+  // measuring during catch-up would zero out the stop-and-wait baseline.
+  auto settled = [&cluster] {
+    for (int d = 0; d < cluster.num_dns(); ++d) {
+      Lsn end = cluster.dn_member_log(d, 0)->current_lsn();
+      for (int m = 1; m < cluster.dn_member_count(d); ++m) {
+        if (cluster.dn_member_log(d, m)->flushed_lsn() < end) return false;
+      }
+    }
+    return true;
+  };
+  sim::SimTime settle_cap = sched.Now() + 5000 * sim::kUsPerMs;
+  while (!settled() && sched.Now() < settle_cap && sched.Step()) {
+  }
 
   Sysbench bench({.mode = mode, .table_size = cfg.table_size});
   auto rng = std::make_shared<Rng>(17);
@@ -54,12 +93,13 @@ Sample RunOne(TsScheme scheme, SysbenchMode mode, int clients,
     (*submit)();
   }
   // Warm up, reset stats, then measure.
-  while (sched.Now() < warmup && sched.Step()) {
+  sim::SimTime warm_end = sched.Now() + warmup;
+  while (sched.Now() < warm_end && sched.Step()) {
   }
   cluster.ResetStats();
   warmed = true;
   (void)warmed;
-  sim::SimTime end = warmup + duration_us;
+  sim::SimTime end = warm_end + duration_us;
   while (sched.Now() < end && sched.Step()) {
   }
 
@@ -70,6 +110,86 @@ Sample RunOne(TsScheme scheme, SysbenchMode mode, int clients,
   s.mean_latency_ms = stats.latency_us.Mean() / 1000.0;
   s.p95_latency_ms = stats.latency_us.Percentile(0.95) / 1000.0;
   return s;
+}
+
+/// E5 — write-path ablation: group commit {off,on} x pipeline depth {1,4}
+/// on sysbench write-only, TSO-SI (the TSO-coalescing path). Returns the
+/// JSON fragment for BENCH_write_path.json.
+std::string WritePathAblation(const BenchFlags& flags) {
+  struct Config {
+    std::string name;
+    WritePathKnobs knobs;
+  };
+  std::vector<Config> grid;
+  if (flags.single_config()) {
+    // Explicit --group_commit/--pipeline: measure just that configuration.
+    WritePathKnobs k{flags.group_commit, flags.pipeline > 0 ? flags.pipeline : 0};
+    std::ostringstream name;
+    name << "gc=" << (k.group_commit ? "on " : "off") << " pipe="
+         << (k.pipeline > 0 ? std::to_string(k.pipeline) : "default");
+    grid.push_back({name.str(), k});
+  } else {
+    grid = {{"gc=off pipe=1", {false, 1}},
+            {"gc=off pipe=4", {false, 4}},
+            {"gc=on  pipe=1", {true, 1}},
+            {"gc=on  pipe=4", {true, 4}}};
+  }
+  // The top client count drives the cluster past the serialized-flush
+  // capacity of the non-batched path; the ablation gap opens at saturation
+  // (intrinsic 2PC latency is ~11 ms, so saturating a ~60k tps write path
+  // takes north of a thousand closed-loop clients).
+  std::vector<int> client_counts =
+      flags.smoke ? std::vector<int>{8}
+                  : std::vector<int>{48, 192, 384, 768, 1536};
+  sim::SimTime duration =
+      (flags.smoke ? 200 : 1000) * sim::kUsPerMs;
+
+  std::printf("\n=== E5: write-path ablation (TSO-SI, oltp-write-only) ===\n");
+  std::printf("%-16s", "config");
+  for (int c : client_counts) std::printf(" %9d cl", c);
+  std::printf("\n");
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"cross_dc_txn\",\n  \"mode\": \""
+       << (flags.smoke ? "smoke" : "full") << "\",\n  \"grid\": [\n";
+  double off1_peak = 0, on4_peak = 0;
+  bool first = true;
+  for (const Config& c : grid) {
+    std::printf("%-16s", c.name.c_str());
+    for (int clients : client_counts) {
+      // E1 models 50us row ops so DN CPU saturates within the sweep; this
+      // ablation isolates the redo-durability path, so DN CPU is cheap
+      // (10us) and the first resource to saturate is the one under test:
+      // the serialized leader flush and the per-follower append window.
+      Sample s = RunOne(TsScheme::kTsoSi, SysbenchMode::kWriteOnly, clients,
+                        duration, c.knobs, /*dn_op_us=*/10);
+      std::printf(" %12.0f", s.tps);
+      if (clients == client_counts.back()) {
+        if (!c.knobs.group_commit && c.knobs.pipeline == 1) off1_peak = s.tps;
+        if (c.knobs.group_commit && c.knobs.pipeline == 4) on4_peak = s.tps;
+      }
+      if (!first) json << ",\n";
+      first = false;
+      json << "    {\"group_commit\": "
+           << (c.knobs.group_commit ? "true" : "false")
+           << ", \"pipeline\": " << c.knobs.pipeline
+           << ", \"clients\": " << clients << ", \"tps\": " << s.tps
+           << ", \"mean_latency_ms\": " << s.mean_latency_ms
+           << ", \"p95_latency_ms\": " << s.p95_latency_ms << "}";
+    }
+    std::printf("\n");
+  }
+  double speedup = on4_peak / std::max(1.0, off1_peak);
+  if (!flags.single_config()) {
+    std::printf(
+        "write tps at %d clients: off/1 %.0f vs on/4 %.0f  (%.2fx)\n",
+        client_counts.back(), off1_peak, on4_peak, speedup);
+  }
+  json << "\n  ],\n  \"max_clients\": " << client_counts.back()
+       << ",\n  \"tps_off_pipe1\": " << off1_peak
+       << ",\n  \"tps_on_pipe4\": " << on4_peak
+       << ",\n  \"speedup_on4_vs_off1\": " << speedup << "\n}\n";
+  return json.str();
 }
 
 void RunSweep(SysbenchMode mode, const char* mode_name) {
@@ -100,7 +220,15 @@ void RunSweep(SysbenchMode mode, const char* mode_name) {
 }  // namespace
 }  // namespace polarx
 
-int main() {
+int main(int argc, char** argv) {
+  polarx::BenchFlags flags = polarx::ParseBenchFlags(argc, argv);
+  if (!flags.json_path.empty() || flags.smoke || flags.single_config()) {
+    // E5 ablation run: the grid is the product, Fig.7 would only slow CI.
+    std::printf("E5 — write-path ablation (bench_cross_dc_txn)\n");
+    std::string json = polarx::WritePathAblation(flags);
+    polarx::WriteBenchJson(flags, json);
+    return 0;
+  }
   std::printf("E1 / Fig.7 — Cross-DC transactions: HLC-SI vs TSO-SI\n");
   std::printf("paper: HLC-SI peak write throughput ~19%% above TSO-SI\n");
   polarx::RunSweep(polarx::SysbenchMode::kWriteOnly, "oltp-write-only");

@@ -14,7 +14,11 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "bench/bench_flags.h"
 #include "src/consensus/paxos.h"
 #include "src/sim/network.h"
 #include "src/storage/key_codec.h"
@@ -120,11 +124,93 @@ double RunBatching(size_t max_batch, int mtrs, size_t payload,
   return double(mtrs) / seconds;
 }
 
+/// E5 leg: time-to-durable for a burst of small MTRs with the write-path
+/// knobs applied — group commit governs how leader flushes coalesce, the
+/// pipeline depth how many frames ride each follower link concurrently.
+double RunWritePath(bool group_commit, int pipeline, int mtrs,
+                    size_t payload) {
+  PaxosConfig cfg;
+  if (pipeline > 0) {
+    cfg.pipelining = pipeline > 1;
+    cfg.max_inflight = size_t(pipeline);
+  }
+  Group g(cfg);
+  GroupCommitConfig gcc;
+  gcc.enabled = group_commit;
+  GroupCommitDriver gc(&g.sched, g.leader, gcc);
+  for (int i = 0; i < mtrs; ++i) {
+    MtrHandle h = g.logs[0].AppendMtr({MakeRecord(i, payload)});
+    gc.Submit(h.end_lsn);
+  }
+  Lsn target = g.leader->log()->current_lsn();
+  while (g.leader->dlsn() < target && g.sched.Step()) {
+  }
+  return double(mtrs) / (double(g.sched.Now()) / 1e6);
+}
+
+std::string WritePathAblation(const BenchFlags& flags) {
+  struct Config {
+    std::string name;
+    bool gc;
+    int pipe;
+  };
+  std::vector<Config> grid;
+  if (flags.single_config()) {
+    std::ostringstream name;
+    name << "gc=" << (flags.group_commit ? "on " : "off") << " pipe="
+         << (flags.pipeline > 0 ? std::to_string(flags.pipeline) : "default");
+    grid.push_back({name.str(), flags.group_commit, flags.pipeline});
+  } else {
+    grid = {{"gc=off pipe=1", false, 1},
+            {"gc=off pipe=4", false, 4},
+            {"gc=on  pipe=1", true, 1},
+            {"gc=on  pipe=4", true, 4}};
+  }
+  const int mtrs = flags.smoke ? 512 : 4096;
+
+  std::printf("\n=== E5: write-path ablation (%d x 120-byte MTR burst) ===\n",
+              mtrs);
+  std::printf("%-16s %16s\n", "config", "mtrs/sec");
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"paxos_ablation\",\n  \"mode\": \""
+       << (flags.smoke ? "smoke" : "full") << "\",\n  \"grid\": [\n";
+  double off1 = 0, on4 = 0;
+  bool first = true;
+  for (const Config& c : grid) {
+    double rate = RunWritePath(c.gc, c.pipe, mtrs, 120);
+    std::printf("%-16s %16.0f\n", c.name.c_str(), rate);
+    if (!c.gc && c.pipe == 1) off1 = rate;
+    if (c.gc && c.pipe == 4) on4 = rate;
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"group_commit\": " << (c.gc ? "true" : "false")
+         << ", \"pipeline\": " << c.pipe << ", \"mtrs_per_sec\": " << rate
+         << "}";
+  }
+  double speedup = on4 / std::max(1.0, off1);
+  if (!flags.single_config()) {
+    std::printf("burst durability: off/1 %.0f vs on/4 %.0f mtrs/sec (%.2fx)\n",
+                off1, on4, speedup);
+  }
+  json << "\n  ],\n  \"mtrs\": " << mtrs
+       << ",\n  \"rate_off_pipe1\": " << off1
+       << ",\n  \"rate_on_pipe4\": " << on4
+       << ",\n  \"speedup_on4_vs_off1\": " << speedup << "\n}\n";
+  return json.str();
+}
+
 }  // namespace
 }  // namespace polarx
 
-int main() {
+int main(int argc, char** argv) {
   using namespace polarx;
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  if (!flags.json_path.empty() || flags.smoke || flags.single_config()) {
+    std::printf("E5 — write-path ablation (bench_paxos_ablation)\n");
+    std::string json = WritePathAblation(flags);
+    WriteBenchJson(flags, json);
+    return 0;
+  }
   std::printf("A2 — Paxos replication ablations (§III), 3 DCs, 1ms RTT\n\n");
 
   std::printf("async vs blocking commit (200-byte txns):\n");

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates bench/out/BENCH_write_path.json (experiment E5): runs the
+# full write-path ablation grid — group commit {off,on} x pipeline depth
+# {1,4} — on all three write-path benches and merges their JSON outputs.
+# Deterministic simulator runs; expect ~10-15 minutes of wall time, almost
+# all of it in bench_cross_dc_txn's 768-client column.
+#
+# Usage: scripts/bench_write_path.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+OUT="bench/out"
+mkdir -p "${OUT}"
+
+for b in bench_replication bench_paxos_ablation bench_cross_dc_txn; do
+  echo "==> ${b}: full E5 grid"
+  "${BUILD}/bench/${b}" --json="${OUT}/${b}_e5.json"
+done
+
+python3 - "$OUT" <<'EOF'
+import json, sys, os
+out = sys.argv[1]
+merged = {"experiment": "E5 - write-path ablation",
+          "grid": "group_commit {off,on} x pipeline {1,4}"}
+for b in ("bench_replication", "bench_paxos_ablation", "bench_cross_dc_txn"):
+    with open(os.path.join(out, b + "_e5.json")) as f:
+        frag = json.load(f)
+    merged[frag.pop("bench")] = frag
+path = os.path.join(out, "BENCH_write_path.json")
+with open(path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print("wrote", path)
+EOF

@@ -21,6 +21,19 @@ cmake --build "${PREFIX}" -j "${JOBS}"
 echo "==> tier-1: full test suite"
 ctest --test-dir "${PREFIX}" --output-on-failure
 
+echo "==> bench-smoke: write-path ablation knobs + JSON emission"
+# Each write-path bench runs its E5 grid in --smoke shape (seconds of
+# virtual time); a crash, a rejected flag, or an unwritable JSON fails the
+# test, and an empty JSON artifact fails the check below.
+ctest --test-dir "${PREFIX}" -L bench-smoke --output-on-failure
+for b in bench_replication bench_paxos_ablation bench_cross_dc_txn; do
+  f="${PREFIX}/bench/out/${b}_smoke.json"
+  if [ ! -s "${f}" ]; then
+    echo "bench-smoke: ${f} missing or empty" >&2
+    exit 1
+  fi
+done
+
 echo "==> asan: configure + build (${PREFIX}-asan)"
 cmake -B "${PREFIX}-asan" "${GENERATOR_ARGS[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOLARX_SANITIZE=ON

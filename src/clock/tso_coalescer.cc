@@ -1,0 +1,46 @@
+#include "src/clock/tso_coalescer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace polarx {
+
+void TsoCoalescer::Request(Grant done) {
+  ++stats_.requests;
+  queue_.push_back(std::move(done));
+  if (!in_flight_) Dispatch();
+}
+
+void TsoCoalescer::Dispatch() {
+  uint32_t n = static_cast<uint32_t>(queue_.size());
+  in_flight_ = true;
+  ++stats_.fetches;
+  stats_.max_batch = std::max<uint64_t>(stats_.max_batch, n);
+  fetch_(n, [this, n](Status s, Timestamp first, uint32_t got) {
+    in_flight_ = false;
+    // Serve the n requesters this fetch was sized for (requests that
+    // queued while it was in flight ride the next fetch). The queue can
+    // only have grown since dispatch.
+    uint32_t serve = std::min<uint32_t>(n, static_cast<uint32_t>(queue_.size()));
+    if (s.ok() && got < serve) serve = got;
+    std::vector<Grant> grants;
+    grants.reserve(serve);
+    for (uint32_t i = 0; i < serve; ++i) {
+      grants.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    // Hand the range out FIFO: request order == timestamp order, and
+    // TsoService ranges are strictly increasing across fetches, so every
+    // grant on this CN is strictly monotonic.
+    for (uint32_t i = 0; i < serve; ++i) {
+      if (s.ok()) {
+        grants[i](Status::Ok(), first + i);
+      } else {
+        grants[i](s, kInvalidTimestamp);
+      }
+    }
+    if (!queue_.empty() && !in_flight_) Dispatch();
+  });
+}
+
+}  // namespace polarx

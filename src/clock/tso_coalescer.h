@@ -1,0 +1,58 @@
+// CN-side TSO request coalescing (§IV): under TSO-SI every snapshot and
+// commit needs an oracle timestamp, and naively that is one cross-DC round
+// trip per request. Concurrent requests on the same CN instead share a
+// single in-flight RPC that fetches a RANGE (TsoService::NextBatch); the
+// coalescer hands the range out FIFO, so hand-out order is strictly
+// monotonic per CN — exactly what snapshot/commit ordering needs.
+//
+// Transport-agnostic: the owner supplies a FetchFn that performs one
+// batched fetch (over the sim RPC stack, in production a real RPC) and
+// invokes the callback with the first timestamp of the granted range.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace polarx {
+
+class TsoCoalescer {
+ public:
+  /// Receives the granted timestamp (or the fetch error).
+  using Grant = std::function<void(Status, Timestamp)>;
+  /// Performs one batched fetch of `count` consecutive timestamps and
+  /// calls back with (status, first timestamp of the range, count
+  /// actually granted). May complete synchronously or asynchronously.
+  using FetchCallback = std::function<void(Status, Timestamp, uint32_t)>;
+  using FetchFn = std::function<void(uint32_t count, FetchCallback)>;
+
+  struct Stats {
+    uint64_t requests = 0;   // Request() calls
+    uint64_t fetches = 0;    // RPCs actually issued
+    uint64_t max_batch = 0;  // largest single fetch
+  };
+
+  explicit TsoCoalescer(FetchFn fetch) : fetch_(std::move(fetch)) {}
+
+  /// Requests one timestamp. If a fetch is already in flight the request
+  /// queues and rides the NEXT fetch (issued the moment the current one
+  /// completes, sized to everything queued by then); otherwise a fetch
+  /// for exactly the queued demand starts now.
+  void Request(Grant done);
+
+  const Stats& stats() const { return stats_; }
+  size_t queued() const { return queue_.size(); }
+
+ private:
+  void Dispatch();
+
+  FetchFn fetch_;
+  std::deque<Grant> queue_;
+  bool in_flight_ = false;
+  Stats stats_;
+};
+
+}  // namespace polarx

@@ -71,10 +71,19 @@ SimCluster::SimCluster(sim::Scheduler* sched, sim::Network* net,
     // which committer serves.
     for (auto& m : dn->paxos->members()) {
       dn->committers[m->node()] = std::make_unique<AsyncCommitter>(m.get());
+      dn->gc_drivers[m->node()] = std::make_unique<GroupCommitDriver>(
+          sched_, m.get(), config_.group_commit);
     }
     dn->serving_node = leader_node;
     dn->serving_epoch = dn->leader->epoch();
     dn->committer = dn->committers.at(leader_node).get();
+    dn->gc = dn->gc_drivers.at(leader_node).get();
+    // Commit-path durability flows engine -> group-commit driver: every
+    // MTR the engine wants durable is a Submit, and the driver's flushes
+    // (one per group) both persist the leader log and kick replication.
+    DnNode* raw = dn.get();
+    dn->engine->SetDurabilityHook(
+        [raw](Lsn end_lsn) { raw->gc->Submit(end_lsn); });
     dn->server = std::make_unique<sim::Server>(sched_, config_.dn_cores);
     gms_.SetDnEndpoint(uint32_t(i), leader_node);
     dns_.push_back(std::move(dn));
@@ -86,6 +95,7 @@ SimCluster::SimCluster(sim::Scheduler* sched, sim::Network* net,
   tso_server_ = std::make_unique<sim::Server>(sched_, 4);
   gms_node_ = net_->AddNode(0, "gms");
   gms_server_ = std::make_unique<sim::Server>(sched_, 4);
+  for (int i = 0; i < int(cns_.size()); ++i) InstallTsoCoalescer(i);
 
   // Background daemons. On the fault-free path these ticks touch no
   // network and draw no randomness, so existing deterministic workloads
@@ -248,6 +258,74 @@ void SimCluster::StepHook(TxnPtr txn, CommitStep step) {
   }
 }
 
+void SimCluster::InstallTsoCoalescer(int cn_index) {
+  if (config_.scheme != TsScheme::kTsoSi || !config_.tso_coalescing) return;
+  cns_[cn_index].tso = std::make_unique<TsoCoalescer>(
+      [this, cn_index](uint32_t count, TsoCoalescer::FetchCallback cb) {
+        // The incarnation read here is the one the coalescer was created
+        // under (restarts replace the coalescer before any new Request),
+        // so a fetch outliving a crash is dropped by CnRpc like any other
+        // stale continuation.
+        uint64_t inc = cns_[cn_index].incarnation;
+        CnRpc(
+            cn_index, inc, [this] { return tso_node_; }, 32,
+            32 + size_t(8) * count, /*resolve_via_gms=*/false,
+            [this, count](NodeId, std::function<void(RpcReply)> reply) {
+              tso_server_->Execute(
+                  config_.tso_service_us, [this, count, reply] {
+                    RpcReply r;
+                    r.ts = tso_service_->NextBatch(count);
+                    r.ts_count = count;
+                    reply(r);
+                  });
+            },
+            [cb](RpcReply r) { cb(r.status, r.ts, r.ts_count); });
+      });
+}
+
+void SimCluster::RequestTsoTimestamp(
+    TxnPtr txn, std::function<void(Status, Timestamp)> done) {
+  CnNode& cn = cns_[txn->cn];
+  if (cn.tso != nullptr) {
+    // Coalesced: ride (or start) the CN's shared batched fetch. FIFO
+    // hand-out of strictly-increasing ranges keeps per-CN timestamps
+    // strictly monotonic, same as dedicated round trips.
+    cn.tso->Request([this, txn, done](Status s, Timestamp ts) {
+      if (!CnLive(txn->cn, txn->cn_incarnation)) return;
+      done(s, ts);
+    });
+    return;
+  }
+  CnRpc(
+      txn->cn, txn->cn_incarnation, [this] { return tso_node_; }, 32, 32,
+      /*resolve_via_gms=*/false,
+      [this](NodeId, std::function<void(RpcReply)> reply) {
+        tso_server_->Execute(config_.tso_service_us, [this, reply] {
+          RpcReply r;
+          r.ts = tso_service_->Next();
+          reply(r);
+        });
+      },
+      [done](RpcReply r) { done(r.status, r.ts); });
+}
+
+void SimCluster::ReplyWhenDurable(DnNode* dn, RpcReply ok,
+                                  std::function<void(RpcReply)> reply,
+                                  const char* lost_what) {
+  if (!config_.wait_commit_durability) {
+    reply(std::move(ok));  // guard mode: ack before durability (unsafe)
+    return;
+  }
+  // The engine already routed this MTR into the group-commit driver via
+  // its durability hook; here we only park the reply on the majority
+  // watermark. The callback fires on DLSN advance, or fails if a leader
+  // change truncates the log underneath it.
+  dn->committer->Submit(
+      dn->leader->log()->current_lsn(),
+      [reply, ok] { reply(ok); },
+      [reply, lost_what] { reply(RpcReply{Status::Unavailable(lost_what)}); });
+}
+
 // ---------------------------------------------------------------------------
 // Transaction flow
 // ---------------------------------------------------------------------------
@@ -277,27 +355,17 @@ void SimCluster::AcquireSnapshot(TxnPtr txn) {
     ExecuteNextOp(txn);
     return;
   }
-  // TSO-SI: a round trip to the TSO in DC 0, retried with backoff. If the
-  // TSO DC stays unreachable past the deadline, the transaction fails
-  // cleanly instead of hanging.
-  CnRpc(
-      txn->cn, txn->cn_incarnation, [this] { return tso_node_; }, 32, 32,
-      /*resolve_via_gms=*/false,
-      [this](NodeId, std::function<void(RpcReply)> reply) {
-        tso_server_->Execute(config_.tso_service_us, [this, reply] {
-          RpcReply r;
-          r.ts = tso_service_->Next();
-          reply(r);
-        });
-      },
-      [this, txn](RpcReply r) {
-        if (!r.status.ok()) {
-          AbortAll(txn);
-          return;
-        }
-        txn->snapshot_ts = r.ts;
-        ExecuteNextOp(txn);
-      });
+  // TSO-SI: a (possibly coalesced) round trip to the TSO in DC 0, retried
+  // with backoff. If the TSO DC stays unreachable past the deadline, the
+  // transaction fails cleanly instead of hanging.
+  RequestTsoTimestamp(txn, [this, txn](Status s, Timestamp ts) {
+    if (!s.ok()) {
+      AbortAll(txn);
+      return;
+    }
+    txn->snapshot_ts = ts;
+    ExecuteNextOp(txn);
+  });
 }
 
 void SimCluster::ExecuteNextOp(TxnPtr txn) {
@@ -481,24 +549,13 @@ void SimCluster::SendPrepares(TxnPtr txn) {
           reply(RpcReply{prep.status()});
           return;
         }
-        Timestamp prepare_ts = *prep;
         // The prepare (and all the transaction's redo) must be durable on
         // a majority of datacenters before ACKing (§III). Asynchronous
-        // commit: no DN thread blocks; the callback fires on DLSN advance,
-        // or fails if a leader change truncates the log underneath it.
-        dn->leader->NotifyNewData();
-        Lsn end_lsn = dn->leader->log()->current_lsn();
-        dn->committer->Submit(
-            end_lsn,
-            [reply, prepare_ts] {
-              RpcReply r;
-              r.ts = prepare_ts;
-              reply(r);
-            },
-            [reply] {
-              reply(RpcReply{
-                  Status::Unavailable("prepare lost to log truncation")});
-            });
+        // commit: no DN thread blocks.
+        RpcReply r;
+        r.ts = *prep;
+        ReplyWhenDurable(dn, std::move(r), reply,
+                         "prepare lost to log truncation");
       });
     };
     CnRpc(
@@ -528,27 +585,17 @@ void SimCluster::SendPrepares(TxnPtr txn) {
             SendDecide(txn);
             return;
           }
-          // TSO-SI: another round trip for the commit timestamp. The
-          // branches are prepared but no decision exists yet, so a TSO
-          // outage here still aborts cleanly.
-          CnRpc(
-              txn->cn, txn->cn_incarnation, [this] { return tso_node_; },
-              32, 32, /*resolve_via_gms=*/false,
-              [this](NodeId, std::function<void(RpcReply)> reply) {
-                tso_server_->Execute(config_.tso_service_us, [this, reply] {
-                  RpcReply r;
-                  r.ts = tso_service_->Next();
-                  reply(r);
-                });
-              },
-              [this, txn](RpcReply r) {
-                if (!r.status.ok()) {
-                  AbortAll(txn);
-                  return;
-                }
-                txn->commit_ts = r.ts;
-                SendDecide(txn);
-              });
+          // TSO-SI: another (possibly coalesced) round trip for the
+          // commit timestamp. The branches are prepared but no decision
+          // exists yet, so a TSO outage here still aborts cleanly.
+          RequestTsoTimestamp(txn, [this, txn](Status s, Timestamp ts) {
+            if (!s.ok()) {
+              AbortAll(txn);
+              return;
+            }
+            txn->commit_ts = ts;
+            SendDecide(txn);
+          });
         });
   }
 }
@@ -578,19 +625,10 @@ void SimCluster::SendDecide(TxnPtr txn) {
         reply(RpcReply{decided.status()});
         return;
       }
-      Timestamp decided_ts = *decided;
-      dn->leader->NotifyNewData();
-      dn->committer->Submit(
-          dn->leader->log()->current_lsn(),
-          [reply, decided_ts] {
-            RpcReply r;
-            r.ts = decided_ts;
-            reply(r);
-          },
-          [reply] {
-            reply(RpcReply{
-                Status::Unavailable("decision lost to log truncation")});
-          });
+      RpcReply r;
+      r.ts = *decided;
+      ReplyWhenDurable(dn, std::move(r), reply,
+                       "decision lost to log truncation");
     });
   };
   CnRpc(
@@ -655,14 +693,8 @@ void SimCluster::SendCommitTo(TxnPtr txn, int dn_index, TxnId branch) {
         reply(RpcReply{s});
         return;
       }
-      dn->leader->NotifyNewData();
-      dn->committer->Submit(
-          dn->leader->log()->current_lsn(),
-          [reply] { reply(RpcReply{}); },
-          [reply] {
-            reply(RpcReply{
-                Status::Unavailable("commit lost to log truncation")});
-          });
+      ReplyWhenDurable(dn, RpcReply{}, reply,
+                       "commit lost to log truncation");
     });
   };
   CnRpc(
@@ -744,14 +776,8 @@ void SimCluster::SendAbortTo(TxnPtr txn, int dn_index, TxnId branch) {
         reply(RpcReply{s});
         return;
       }
-      dn->leader->NotifyNewData();
-      dn->committer->Submit(
-          dn->leader->log()->current_lsn(),
-          [reply] { reply(RpcReply{}); },
-          [reply] {
-            reply(RpcReply{
-                Status::Unavailable("abort lost to log truncation")});
-          });
+      ReplyWhenDurable(dn, RpcReply{}, reply,
+                       "abort lost to log truncation");
     });
   };
   CnRpc(
@@ -834,6 +860,7 @@ void SimCluster::Promote(int dn_index, PaxosMember* member) {
   dn->serving_epoch = member->epoch();
   dn->leader = member;
   dn->committer = dn->committers.at(member->node()).get();
+  dn->gc = dn->gc_drivers.at(member->node()).get();
   // Rebuild the serving state from the new leader's replicated log: redo
   // replay reconstructs the table, RecoverState reconstructs transaction
   // state. Durably-prepared branches survive — the election up-to-date
@@ -847,9 +874,17 @@ void SimCluster::Promote(int dn_index, PaxosMember* member) {
   applier.ApplyAll(recs);
   TxnEngineOptions opts;
   opts.use_prepare_ts_filter = config_.scheme == TsScheme::kHlcSi;
+  // New incarnation: ids minted by the previous engine but never logged
+  // (active branches) are unrecoverable; the epoch keeps the new engine
+  // from re-issuing them to unrelated branches, which would let a retried
+  // 2PC RPC prepare — and then commit — the wrong writes.
+  opts.id_epoch = ++dn->engine_incarnations;
   dn->engine = std::make_unique<TxnEngine>(dn->engine_id, dn->catalog.get(),
                                            dn->hlc.get(), member->log(),
                                            dn->pool.get(), opts);
+  // Hook before RecoverState: the presumed-abort records it writes must
+  // flow through the new serving driver like any other MTR.
+  dn->engine->SetDurabilityHook([dn](Lsn end_lsn) { dn->gc->Submit(end_lsn); });
   dn->engine->RecoverState(recs);
   gms_.SetDnEndpoint(uint32_t(dn_index), member->node());
   ++stats_.leader_failovers;
@@ -1033,19 +1068,11 @@ void SimCluster::RecoveryResolveGlobals(int cn_index, uint64_t inc,
           reply(RpcReply{s});
           return;
         }
-        dn->leader->NotifyNewData();
-        dn->committer->Submit(
-            dn->leader->log()->current_lsn(),
-            [reply] {
-              RpcReply r;
-              r.has_decision = true;
-              r.decision = CommitDecision{};  // abort
-              reply(r);
-            },
-            [reply] {
-              reply(RpcReply{
-                  Status::Unavailable("decision lost to log truncation")});
-            });
+        RpcReply r;
+        r.has_decision = true;
+        r.decision = CommitDecision{};  // abort
+        ReplyWhenDurable(dn, std::move(r), reply,
+                         "decision lost to log truncation");
       });
     };
     CnRpc(
@@ -1096,14 +1123,8 @@ void SimCluster::RecoveryResolveBranch(int cn_index, uint64_t inc,
         reply(RpcReply{s});
         return;
       }
-      dn->leader->NotifyNewData();
-      dn->committer->Submit(
-          dn->leader->log()->current_lsn(),
-          [reply] { reply(RpcReply{}); },
-          [reply] {
-            reply(RpcReply{
-                Status::Unavailable("resolution lost to log truncation")});
-          });
+      ReplyWhenDurable(dn, RpcReply{}, reply,
+                       "resolution lost to log truncation");
     });
   };
   CnRpc(
@@ -1152,6 +1173,9 @@ void SimCluster::HandleNodeRestart(NodeId node) {
     // only recovery reaps it.
     cn.coordinator_id = gms_.RegisterCoordinator(cn.dc, sched_->Now());
     cn.next_global = 1;
+    // Fresh coalescer: grants queued by the previous incarnation die with
+    // the old instance (their requesters are gone).
+    InstallTsoCoalescer(it->second);
     return;
   }
   auto dit = dn_of_node_.find(node);

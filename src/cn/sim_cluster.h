@@ -33,6 +33,7 @@
 
 #include "src/clock/hlc.h"
 #include "src/clock/tso.h"
+#include "src/clock/tso_coalescer.h"
 #include "src/common/histogram.h"
 #include "src/common/retry.h"
 #include "src/common/rng.h"
@@ -70,6 +71,13 @@ struct SimClusterConfig {
   /// Sysbench table size (rows pre-loaded, hash-sharded over DNs).
   uint64_t table_size = 100000;
   PaxosConfig paxos;
+  /// Leader-side redo group commit (write-path batching). Enabled by
+  /// default; `enabled = false` reverts to one serialized flush per
+  /// commit request (the ablation baseline, modeling per-commit fsync).
+  GroupCommitConfig group_commit;
+  /// CN-side TSO request coalescing: concurrent timestamp requests on one
+  /// CN share a single in-flight batched fetch (TSO-SI only).
+  bool tso_coalescing = true;
   uint64_t seed = 7;
 
   // ---- survivability knobs ----
@@ -91,6 +99,12 @@ struct SimClusterConfig {
   /// recovery off, dead coordinators' prepared branches stay in doubt.
   bool enable_retry = true;
   bool enable_recovery = true;
+  /// Guard-test switch: when false, DN commit-path handlers reply as soon
+  /// as the engine op lands in the leader's log, WITHOUT waiting for the
+  /// group's durability watermark. Unsafe by construction — the
+  /// group-commit chaos guard test uses it to show acked commits can
+  /// vanish in a crash when the durability wait is skipped.
+  bool wait_commit_durability = true;
   /// Test hook fired at 2PC step boundaries of write transactions (see
   /// CommitStep). Chaos tests use it to crash the coordinator at exactly
   /// each boundary.
@@ -151,6 +165,14 @@ class SimCluster {
   }
   /// All network nodes of DN group `dn_index` (leader + followers).
   std::vector<NodeId> dn_member_nodes(int dn_index) const;
+  /// Member `member_index`'s redo log (0 = original leader). Chaos tests
+  /// use it to assert flush watermarks stay on MTR boundaries.
+  RedoLog* dn_member_log(int dn_index, int member_index) {
+    return dns_[dn_index]->member_logs[size_t(member_index)].get();
+  }
+  int dn_member_count(int dn_index) const {
+    return int(dns_[dn_index]->member_logs.size());
+  }
   NodeId dn_serving_node(int dn_index) const {
     return dns_[dn_index]->serving_node;
   }
@@ -162,6 +184,16 @@ class SimCluster {
   NodeId tso_node() const { return tso_node_; }
   NodeId gms_node() const { return gms_node_; }
   int DnOfKey(int64_t key) const;
+
+  /// Telemetry: serving group-commit driver of DN `dn_index` (batching
+  /// counters) and CN `cn_index`'s TSO coalescer (null in HLC-SI mode or
+  /// with coalescing disabled).
+  const GroupCommitDriver* dn_group_commit(int dn_index) const {
+    return dns_[dn_index]->gc;
+  }
+  const TsoCoalescer* cn_tso_coalescer(int cn_index) const {
+    return cns_[cn_index].tso.get();
+  }
 
  private:
   struct CnNode {
@@ -176,6 +208,10 @@ class SimCluster {
     uint32_t coordinator_id = 0;
     uint64_t next_global = 1;
     Rng rng{0};  // retry jitter seeds (reseeded in ctor)
+    /// TSO-SI: shares one in-flight batched timestamp fetch across this
+    /// CN's concurrent requesters. Recreated on restart (queued grants
+    /// from the previous incarnation are dropped with the old instance).
+    std::unique_ptr<TsoCoalescer> tso;
   };
   struct DnNode {
     DcId dc;
@@ -197,6 +233,15 @@ class SimCluster {
     /// group. `committer` points at the serving member's.
     std::map<NodeId, std::unique_ptr<AsyncCommitter>> committers;
     AsyncCommitter* committer = nullptr;
+    /// One group-commit driver per member (same lifetime rule as the
+    /// committers: OnTruncate callbacks are permanent). `gc` points at the
+    /// serving member's driver; the engine's durability hook feeds it.
+    std::map<NodeId, std::unique_ptr<GroupCommitDriver>> gc_drivers;
+    GroupCommitDriver* gc = nullptr;
+    /// How many times the serving engine has been rebuilt (failover
+    /// promotions). Feeds TxnEngineOptions::id_epoch so a rebuilt engine
+    /// never re-issues a TxnId from a previous incarnation.
+    uint32_t engine_incarnations = 0;
     std::unique_ptr<sim::Server> server;
   };
 
@@ -224,6 +269,7 @@ class SimCluster {
   struct RpcReply {
     Status status;
     Timestamp ts = 0;
+    uint32_t ts_count = 1;  // batched TSO fetch: size of the granted range
     TxnId branch = kInvalidTxnId;
     bool has_decision = false;
     CommitDecision decision;
@@ -250,6 +296,21 @@ class SimCluster {
            cns_[cn_index].incarnation == incarnation;
   }
   void StepHook(TxnPtr txn, CommitStep step);
+
+  /// Fetches one TSO timestamp for `txn` — through the CN's coalescer
+  /// when enabled, else a dedicated round trip. `done` runs only if the
+  /// CN is still the same incarnation.
+  void RequestTsoTimestamp(TxnPtr txn,
+                           std::function<void(Status, Timestamp)> done);
+  /// Installs the serving engine's durability hook and TsoCoalescer for a
+  /// freshly created CN (ctor / restart).
+  void InstallTsoCoalescer(int cn_index);
+  /// Parks `reply` until every byte currently in the DN's serving log is
+  /// majority-durable (the asynchronous-commit wait), or replies
+  /// immediately when `wait_commit_durability` is off (guard mode).
+  void ReplyWhenDurable(DnNode* dn, RpcReply ok,
+                        std::function<void(RpcReply)> reply,
+                        const char* lost_what);
 
   void AcquireSnapshot(TxnPtr txn);
   void ExecuteNextOp(TxnPtr txn);

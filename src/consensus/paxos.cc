@@ -22,6 +22,40 @@ std::string_view PaxosRoleName(PaxosRole role) {
   return "?";
 }
 
+// -------------------------------------------------- quorum match order --
+
+void QuorumMatchTracker::Reset(size_t quorum) {
+  slots_.clear();
+  index_.clear();
+  quorum_ = quorum == 0 ? 1 : quorum;
+}
+
+void QuorumMatchTracker::Set(NodeId id, Lsn lsn) {
+  size_t pos;
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    pos = slots_.size();
+    slots_.push_back({id, lsn});
+    index_[id] = pos;
+  } else {
+    pos = it->second;
+    if (lsn <= slots_[pos].lsn) return;  // stale/duplicate ack
+    slots_[pos].lsn = lsn;
+  }
+  // Bubble the raised value toward the front to restore descending order.
+  while (pos > 0 && slots_[pos - 1].lsn < slots_[pos].lsn) {
+    std::swap(slots_[pos - 1], slots_[pos]);
+    index_[slots_[pos].id] = pos;
+    index_[slots_[pos - 1].id] = pos - 1;
+    --pos;
+  }
+}
+
+Lsn QuorumMatchTracker::QuorumValue() const {
+  if (slots_.size() < quorum_) return 0;
+  return slots_[quorum_ - 1].lsn;
+}
+
 // ---------------------------------------------------------------- group --
 
 PaxosGroup::PaxosGroup(sim::Network* net, PaxosConfig config)
@@ -75,6 +109,8 @@ void PaxosMember::BecomeLeader() {
   if (epoch_ == 0) epoch_ = 1;
   ++timer_generation_;
   peers_.clear();
+  match_tracker_.Reset(group_->Quorum());
+  match_tracker_.Set(node_, log_->flushed_lsn());
   Lsn end = log_->current_lsn();
   for (auto& m : group_->members()) {
     if (m->node() == node_) continue;
@@ -83,6 +119,7 @@ void PaxosMember::BecomeLeader() {
     p.match_lsn = 1;
     p.last_ack_us = group_->scheduler()->Now();
     peers_[m->node()] = p;
+    match_tracker_.Set(m->node(), p.match_lsn);
   }
   POLARX_INFO("node " << node_ << " becomes leader at epoch " << epoch_);
   SendHeartbeats();
@@ -224,7 +261,16 @@ void PaxosMember::HandleAppend(NodeId from, const AppendFrame& frame) {
   bool fail = false;
   Lsn rewind_to = expected;  // where the leader should resend from on failure
   if (frame.meta.range_start > expected) {
-    fail = true;  // gap (e.g. out-of-order delivery): leader rewinds to us
+    // Gap. With pipelining this is usually frame k+1 overtaking frame k in
+    // flight, not loss: park the frame so it can apply the moment its
+    // prefix lands. Still nack — a genuinely lost prefix needs the leader's
+    // prompt rewind — but the nack is suppressed at send time if the gap
+    // has closed by then (the parked frame's cumulative ack supersedes it).
+    if (ooo_frames_.size() < group_->config().max_inflight) {
+      ooo_frames_.emplace(frame.meta.range_start,
+                          std::make_pair(from, frame));
+    }
+    fail = true;
   } else if (Crc32(frame.payload.data(), frame.payload.size()) !=
              frame.meta.checksum) {
     fail = true;
@@ -290,6 +336,16 @@ void PaxosMember::HandleAppend(NodeId from, const AppendFrame& frame) {
   // while the flush was in flight, that claim is stale (the bytes are gone
   // or replaced) and sending it would let the old leader count phantom
   // bytes into DLSN; drop it and let retransmission resync.
+  if (!fail) {
+    // Verified frames share the pending flush window: one flush + one
+    // cumulative ack answers every frame that arrived while the previous
+    // flush was in flight.
+    QueueFlushAck(from, new_end, ack.persisted_lsn);
+    DrainOooFrames();
+    return;
+  }
+  // Failure acks are never coalesced — the leader must learn the rewind
+  // point promptly, and a cumulative success ack must not paper over it.
   NodeId self = node_;
   PaxosGroup* group = group_;
   uint64_t trunc = truncations_;
@@ -300,11 +356,98 @@ void PaxosMember::HandleAppend(NodeId from, const AppendFrame& frame) {
         if (me == nullptr || !group->network()->IsNodeUp(self)) return;
         if (me->truncations_ != trunc) return;
         me->log_->MarkFlushed(new_end);
+        // The nack reported our log end at arrival time. If verified bytes
+        // have extended past it since (a parked out-of-order frame's prefix
+        // landed and drained), the gap it reported is gone: the cumulative
+        // success ack supersedes it, and sending the stale rewind would
+        // make the leader resend an already-verified window.
+        if (!ack.ok && me->log_->current_lsn() > ack.persisted_lsn) return;
+        ++me->acks_sent_;
         group->network()->Send(self, from, 32, [group, self, from, ack] {
           PaxosMember* leader = group->member(from);
           if (leader != nullptr) leader->HandleAck(self, ack);
         });
       });
+}
+
+void PaxosMember::QueueFlushAck(NodeId leader, Lsn flush_end,
+                                Lsn verified_end) {
+  pending_flush_end_ = std::max(pending_flush_end_, flush_end);
+  pending_ack_verified_ = std::max(pending_ack_verified_, verified_end);
+  ++pending_ack_frames_;
+  ack_to_ = leader;
+  if (!ack_flush_scheduled_) ScheduleAckFlush();
+}
+
+void PaxosMember::ScheduleAckFlush() {
+  ack_flush_scheduled_ = true;
+  NodeId self = node_;
+  PaxosGroup* group = group_;
+  uint64_t trunc = truncations_;
+  group_->scheduler()->ScheduleAfter(
+      group_->config().flush_latency_us, [group, self, trunc] {
+        PaxosMember* me = group->member(self);
+        if (me == nullptr) return;
+        me->ack_flush_scheduled_ = false;
+        if (!group->network()->IsNodeUp(self)) {
+          // Crash voided the window (Recover() resets it anyway).
+          me->ResetAckWindow();
+          return;
+        }
+        if (me->truncations_ != trunc) {
+          // A truncation voided the window this flush was started for
+          // (NotifyTruncated already dropped those claims). Frames that
+          // arrived after the truncation are valid and still waiting:
+          // restart their flush with full latency.
+          if (me->pending_ack_frames_ > 0) me->ScheduleAckFlush();
+          return;
+        }
+        AppendAck ack;
+        ack.epoch = me->epoch_;
+        ack.ok = true;
+        ack.persisted_lsn = me->pending_ack_verified_;
+        ack.frames = me->pending_ack_frames_;
+        NodeId to = me->ack_to_;
+        me->log_->MarkFlushed(me->pending_flush_end_);
+        me->pending_ack_frames_ = 0;
+        ++me->acks_sent_;
+        group->network()->Send(self, to, 32, [group, self, to, ack] {
+          PaxosMember* l = group->member(to);
+          if (l != nullptr) l->HandleAck(self, ack);
+        });
+      });
+}
+
+void PaxosMember::ResetAckWindow() {
+  // Claims accumulated before a truncation/crash vouch for bytes that may
+  // no longer exist; keeping the high-water marks could flush or ack a
+  // different leader's unverified bytes at the same LSNs.
+  pending_flush_end_ = 0;
+  pending_ack_verified_ = 0;
+  pending_ack_frames_ = 0;
+  // Parked frames would be re-verified on drain, but they belong to the
+  // stream that was just truncated away; drop them and let the leader's
+  // normal repair path resend whatever is still relevant.
+  ooo_frames_.clear();
+}
+
+void PaxosMember::DrainOooFrames() {
+  // Each iteration removes one parked frame, so the recursion through
+  // HandleAppend (which calls back here on success) is bounded.
+  while (!ooo_frames_.empty()) {
+    auto it = ooo_frames_.begin();
+    if (it->first > log_->current_lsn()) break;
+    NodeId from = it->second.first;
+    AppendFrame frame = std::move(it->second.second);
+    ooo_frames_.erase(it);
+    if (frame.meta.range_end > log_->current_lsn()) {
+      // Re-runs every verification (epoch, checksum, log matching) exactly
+      // as if the frame had just arrived; its bytes join the coalesced
+      // flush/ack window like any other verified frame.
+      HandleAppend(from, frame);
+    }
+    // else: the log already covers it (duplicate of repaired bytes); drop.
+  }
 }
 
 void PaxosMember::HandleAck(NodeId follower, const AppendAck& ack) {
@@ -318,9 +461,14 @@ void PaxosMember::HandleAck(NodeId follower, const AppendAck& ack) {
   if (it == peers_.end()) return;
   PeerProgress& p = it->second;
   p.last_ack_us = group_->scheduler()->Now();
-  if (p.inflight > 0) --p.inflight;
+  // A coalesced ack answers several frames at once; reopen the pipeline
+  // window by however many it covers (clamped: duplicated deliveries must
+  // not underflow).
+  size_t covered = ack.frames == 0 ? 1 : ack.frames;
+  p.inflight -= std::min(p.inflight, covered);
   if (ack.ok) {
     p.match_lsn = std::max(p.match_lsn, ack.persisted_lsn);
+    match_tracker_.Set(follower, p.match_lsn);
     RecomputeDlsn();
   } else {
     // Rewind to the follower's actual end and retry. The follower's
@@ -335,12 +483,11 @@ void PaxosMember::HandleAck(NodeId follower, const AppendAck& ack) {
 
 void PaxosMember::RecomputeDlsn() {
   if (role_ != PaxosRole::kLeader) return;
-  std::vector<Lsn> persisted;
-  persisted.push_back(log_->flushed_lsn());  // leader's own local flush
-  for (auto& [peer, p] : peers_) persisted.push_back(p.match_lsn);
-  std::sort(persisted.rbegin(), persisted.rend());
-  Lsn majority = persisted[group_->Quorum() - 1];
-  AdvanceDlsn(majority);
+  // The tracker keeps {leader's flushed LSN, every peer's match LSN} in
+  // descending order incrementally; the majority-persisted watermark is a
+  // direct index instead of a per-ack sort.
+  match_tracker_.Set(node_, log_->flushed_lsn());
+  AdvanceDlsn(match_tracker_.QuorumValue());
 }
 
 void PaxosMember::AdvanceDlsn(Lsn new_dlsn) {
@@ -624,6 +771,7 @@ void PaxosMember::Recover() {
 
 void PaxosMember::NotifyTruncated() {
   ++truncations_;
+  ResetAckWindow();
   Lsn end = log_->current_lsn();
   for (auto& fn : truncate_callbacks_) fn(end);
 }
@@ -740,6 +888,94 @@ void AsyncCommitter::OnTruncated(Lsn new_end) {
     if (cur->second.failed) cur->second.failed();
   }
   pending_.erase(it, pending_.end());
+}
+
+// ------------------------------------------------- group commit driver --
+
+GroupCommitDriver::GroupCommitDriver(sim::Scheduler* scheduler,
+                                     PaxosMember* member,
+                                     GroupCommitConfig config)
+    : scheduler_(scheduler), member_(member), cfg_(config) {
+  member_->OnTruncate([this](Lsn new_end) {
+    ++truncation_gen_;
+    // Requests beyond the new end can never be satisfied as-submitted
+    // (AsyncCommitter fails their waiters); don't flush toward them.
+    pending_end_ = std::min(pending_end_, new_end);
+    for (Lsn& l : fifo_) l = std::min(l, new_end);
+  });
+}
+
+void GroupCommitDriver::Submit(Lsn end_lsn) {
+  ++submits_;
+  if (!cfg_.enabled) {
+    fifo_.push_back(end_lsn);
+    if (!flush_in_flight_) StartFlush();
+    return;
+  }
+  pending_end_ = std::max(pending_end_, end_lsn);
+  ++pending_count_;
+  if (!flush_in_flight_) {
+    StartFlush();
+  } else if (!window_timer_armed_ && cfg_.max_group_wait_us > 0) {
+    // Liveness backstop: no request waits longer than max_group_wait_us
+    // for its group flush to start, even if the in-flight flush's
+    // completion path somehow never reopens the window.
+    window_timer_armed_ = true;
+    scheduler_->ScheduleAfter(cfg_.max_group_wait_us, [this] {
+      window_timer_armed_ = false;
+      if (!flush_in_flight_) StartFlush();
+    });
+  }
+}
+
+void GroupCommitDriver::StartFlush() {
+  RedoLog* log = member_->log();
+  Lsn base = log->flushed_lsn();
+  Lsn target = 0;
+  uint64_t group = 0;
+  if (!cfg_.enabled) {
+    // Per-commit fsync discipline: each request pays its own serialized
+    // flush, even when a predecessor's flush already covered its bytes
+    // (the syscall still queues behind the device).
+    if (fifo_.empty()) return;
+    target = fifo_.front();
+    fifo_.pop_front();
+    group = 1;
+  } else {
+    if (pending_end_ <= base) {
+      pending_count_ = 0;
+      return;
+    }
+    target = pending_end_;
+    if (target - base > cfg_.max_group_bytes) {
+      Lsn cut = log->BoundaryBefore(base + cfg_.max_group_bytes);
+      // A single MTR larger than the cap still flushes whole (the cap
+      // splits groups, never records).
+      if (cut > base) target = cut;
+    }
+    group = pending_count_;
+    if (target >= pending_end_) pending_count_ = 0;
+  }
+  flush_in_flight_ = true;
+  ++flushes_;
+  if (group > 1) ++grouped_flushes_;
+  max_group_ = std::max(max_group_, group);
+  uint64_t gen = truncation_gen_;
+  scheduler_->ScheduleAfter(cfg_.flush_latency_us, [this, target, gen] {
+    FinishFlush(target, gen);
+  });
+}
+
+void GroupCommitDriver::FinishFlush(Lsn target, uint64_t gen) {
+  flush_in_flight_ = false;
+  if (gen == truncation_gen_) {
+    member_->log()->MarkFlushed(target);
+    // One replication kick (and DLSN recompute) for the whole group.
+    member_->NotifyNewData();
+  }
+  bool more = cfg_.enabled ? pending_end_ > member_->log()->flushed_lsn()
+                           : !fifo_.empty();
+  if (more) StartFlush();
 }
 
 }  // namespace polarx

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -69,6 +70,39 @@ struct PaxosConfig {
 };
 
 class PaxosGroup;
+
+/// Incrementally maintained order statistics over per-node persisted LSNs.
+/// The leader's DLSN is the quorum-th largest of {leader's flushed LSN,
+/// every peer's match LSN}; recomputing that with a sort on every ack is
+/// O(n log n) per ack. Values here only move up (match LSNs are monotonic
+/// while a leader reigns), so a single bubble pass keeps a descending
+/// array sorted in O(n) worst case and O(1) amortized, and the quorum
+/// watermark is a direct index.
+class QuorumMatchTracker {
+ public:
+  /// Clears all entries and fixes the quorum size (1-based rank of the
+  /// value that a majority of nodes has persisted).
+  void Reset(size_t quorum);
+
+  /// Sets node `id`'s persisted LSN. Decreases are ignored: an older
+  /// (reordered/duplicated) ack can never lower what a node vouched for.
+  void Set(NodeId id, Lsn lsn);
+
+  /// The quorum-th largest tracked value, or 0 if fewer than `quorum`
+  /// nodes are tracked.
+  Lsn QuorumValue() const;
+
+  size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    NodeId id;
+    Lsn lsn;
+  };
+  std::vector<Slot> slots_;          // sorted by lsn, descending
+  std::map<NodeId, size_t> index_;   // id -> position in slots_
+  size_t quorum_ = 1;
+};
 
 /// One replica of the group.
 class PaxosMember {
@@ -124,6 +158,7 @@ class PaxosMember {
   uint64_t frames_sent() const { return frames_sent_; }
   uint64_t frames_received() const { return frames_received_; }
   uint64_t elections_started() const { return elections_started_; }
+  uint64_t acks_sent() const { return acks_sent_; }
 
  private:
   friend class PaxosGroup;
@@ -154,6 +189,10 @@ class PaxosMember {
     uint64_t epoch;
     bool ok;
     Lsn persisted_lsn;  // follower log end, or the rewind point on failure
+    /// How many AppendFrames this (coalesced) ack answers; the leader
+    /// opens its in-flight window by this much. Failure acks always
+    /// cover exactly the frame that failed.
+    uint32_t frames = 1;
   };
   struct VoteRequest {
     uint64_t epoch;
@@ -181,6 +220,19 @@ class PaxosMember {
 
   // -- follower side --
   void HandleAppend(NodeId from, const AppendFrame& frame);
+  /// Folds one verified frame into the pending flush/ack window. One
+  /// PolarFS flush (and one cumulative ack) answers every frame that
+  /// arrived while the flush was in flight, instead of a flush + ack per
+  /// frame — the follower half of pipelined replication.
+  void QueueFlushAck(NodeId leader, Lsn flush_end, Lsn verified_end);
+  /// Starts the modeled PolarFS flush closing the current ack window.
+  void ScheduleAckFlush();
+  /// Drops coalesced flush/ack state; pending claims are void after a
+  /// truncation (the bytes they vouch for may be gone).
+  void ResetAckWindow();
+  /// Applies parked out-of-order frames whose prefix has arrived (each is
+  /// re-verified exactly like a fresh delivery).
+  void DrainOooFrames();
   void AdvanceDlsn(Lsn new_dlsn);
   void ApplyUpTo(Lsn lsn);
   void ResetElectionTimer();
@@ -242,7 +294,22 @@ class PaxosMember {
     sim::SimTime last_ack_us = 0;  // when we last heard an ack from this peer
   };
   std::map<NodeId, PeerProgress> peers_;
+  /// Incremental (leader flush, peer match) order statistics backing
+  /// RecomputeDlsn; rebuilt on BecomeLeader.
+  QuorumMatchTracker match_tracker_;
   uint64_t paxos_index_ = 0;
+
+  // Follower-side coalesced flush/ack window (see QueueFlushAck).
+  Lsn pending_flush_end_ = 0;      // highest log end to persist
+  Lsn pending_ack_verified_ = 0;   // highest frame-verified byte to vouch for
+  uint32_t pending_ack_frames_ = 0;
+  bool ack_flush_scheduled_ = false;
+  NodeId ack_to_ = 0;
+  /// Pipelined frames that overtook their predecessor in flight, parked
+  /// (keyed by range_start, with their sender) until the prefix lands;
+  /// without this, every in-flight reordering turns into a nack, a leader
+  /// rewind, and a resend of the whole window. Bounded by max_inflight.
+  std::map<Lsn, std::pair<NodeId, AppendFrame>> ooo_frames_;
 
   // Election state. Granting voters are tracked by id so a duplicated
   // vote-reply delivery cannot be double-counted toward the quorum.
@@ -261,6 +328,7 @@ class PaxosMember {
   uint64_t frames_sent_ = 0;
   uint64_t frames_received_ = 0;
   uint64_t elections_started_ = 0;
+  uint64_t acks_sent_ = 0;
 };
 
 /// The replication group: owns membership and wiring to the sim network.
@@ -334,6 +402,78 @@ class AsyncCommitter {
   std::multimap<Lsn, Waiter> pending_;
   uint64_t completed_ = 0;
   uint64_t failed_count_ = 0;
+};
+
+struct GroupCommitConfig {
+  /// Off = the pre-batching write path: every commit pays its own PolarFS
+  /// flush (FIFO-serialized, as one fsync at a time) and its own
+  /// replication kick. On = all requests queued while a flush is in
+  /// flight share the next flush and one replication kick.
+  bool enabled = true;
+  /// A single group flush covers at most this many log bytes; larger
+  /// backlogs are split at an MTR boundary across several flushes.
+  size_t max_group_bytes = 1 << 20;
+  /// Upper bound on how long a pending request may wait for its group
+  /// flush to start. The adaptive window normally closes on its own —
+  /// idle: the first request starts a flush immediately; loaded: the
+  /// in-flight flush's completion starts the next group — so this timer
+  /// is a liveness backstop, not the steady-state batching clock.
+  sim::SimTime max_group_wait_us = 200;
+  /// Simulated PolarFS append latency per leader-side flush.
+  sim::SimTime flush_latency_us = 40;
+};
+
+/// Leader-side redo group commit (the delay-and-batch lever of §IV/STAR):
+/// transaction commits no longer call MarkFlushed synchronously; they
+/// Submit their MTR's end LSN here and park completion on the
+/// AsyncCommitter. The driver runs at most one modeled PolarFS flush at a
+/// time; everything submitted while a flush is in flight is coalesced
+/// into the next one, and each completed flush issues a single
+/// NotifyNewData so the whole group rides one replication kick. A
+/// truncation (leader deposed, crash recovery) voids in-flight flushes:
+/// their target LSNs may be rewound and refilled with different bytes, so
+/// completing them would mark unverified bytes durable.
+class GroupCommitDriver {
+ public:
+  GroupCommitDriver(sim::Scheduler* scheduler, PaxosMember* member,
+                    GroupCommitConfig config = {});
+
+  /// Requests durability (flush + replication kick) up to `end_lsn`.
+  /// Completion is observed via the member's DLSN (AsyncCommitter), not
+  /// returned from here.
+  void Submit(Lsn end_lsn);
+
+  /// Telemetry: batching effectiveness = submits() / flushes().
+  uint64_t submits() const { return submits_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t grouped_flushes() const { return grouped_flushes_; }
+  uint64_t max_group() const { return max_group_; }
+
+ private:
+  void StartFlush();
+  void FinishFlush(Lsn target, uint64_t gen);
+
+  sim::Scheduler* scheduler_;
+  PaxosMember* member_;
+  GroupCommitConfig cfg_;
+
+  bool flush_in_flight_ = false;
+  bool window_timer_armed_ = false;
+  /// Bumped when the member truncates its log; flushes started before a
+  /// truncation must not complete (same discipline as PaxosMember's
+  /// truncations_ counter).
+  uint64_t truncation_gen_ = 0;
+
+  // enabled mode: one coalesced window.
+  Lsn pending_end_ = 0;
+  uint64_t pending_count_ = 0;
+  // disabled mode: per-commit FIFO flush queue.
+  std::deque<Lsn> fifo_;
+
+  uint64_t submits_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t grouped_flushes_ = 0;
+  uint64_t max_group_ = 0;
 };
 
 }  // namespace polarx

@@ -266,6 +266,7 @@ MtrHandle RedoLog::AppendMtr(const std::vector<RedoRecord>& records) {
   h.start_lsn = purged_ + buffer_.size();
   buffer_.append(encoded);
   h.end_lsn = purged_ + buffer_.size();
+  ++mtrs_appended_;
   return h;
 }
 
@@ -286,7 +287,10 @@ void RedoLog::MarkFlushed(Lsn lsn) {
   // not mark bytes flushed that no longer exist.
   Lsn end = purged_ + buffer_.size();
   if (lsn > end) lsn = end;
-  if (lsn > flushed_) flushed_ = lsn;
+  if (lsn > flushed_) {
+    flushed_ = lsn;
+    ++flush_advances_;
+  }
 }
 
 Lsn RedoLog::ReadBytes(Lsn from, Lsn to, std::string* out) const {
@@ -415,6 +419,16 @@ void RedoLog::TruncateTo(Lsn lsn) {
 size_t RedoLog::SizeBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return buffer_.size();
+}
+
+uint64_t RedoLog::mtrs_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mtrs_appended_;
+}
+
+uint64_t RedoLog::flush_advances() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flush_advances_;
 }
 
 MtrHandle MiniTransaction::Commit() {

@@ -141,11 +141,20 @@ class RedoLog {
 
   size_t SizeBytes() const;
 
+  /// Telemetry for the write path: how many MTRs were appended and how
+  /// many MarkFlushed calls actually advanced the durable watermark. With
+  /// group commit, flush_advances() << mtrs_appended() — the ratio is the
+  /// measured batching factor.
+  uint64_t mtrs_appended() const;
+  uint64_t flush_advances() const;
+
  private:
   mutable std::mutex mu_;
   std::string buffer_;      // bytes [purged_, purged_ + buffer_.size())
   Lsn purged_ = 1;          // first retained LSN
   Lsn flushed_ = 1;
+  uint64_t mtrs_appended_ = 0;
+  uint64_t flush_advances_ = 0;
 };
 
 /// Convenience builder that accumulates records and appends them as one MTR.

@@ -23,11 +23,26 @@ TxnEngine::TxnEngine(uint32_t engine_id, TableCatalog* catalog, Hlc* hlc,
          pool_ != nullptr);
 }
 
+void TxnEngine::RequestDurable(Lsn end_lsn, bool require_local_flush) {
+  if (durability_hook_) {
+    durability_hook_(end_lsn);
+    return;
+  }
+  if (require_local_flush) log_->MarkFlushed(end_lsn);
+}
+
+TxnId TxnEngine::MintTxnId() {
+  // engine_id | id_epoch | counter. The epoch byte keeps ids from different
+  // incarnations of the same engine disjoint (see TxnEngineOptions).
+  return (static_cast<TxnId>(engine_id_) << 40) |
+         (static_cast<TxnId>(options_.id_epoch & 0xFF) << 32) |
+         (next_txn_.fetch_add(1, std::memory_order_relaxed) & 0xFFFFFFFF);
+}
+
 TxnId TxnEngine::Begin(Timestamp snapshot_ts) {
   if (snapshot_ts == 0) snapshot_ts = hlc_->Now();
   std::lock_guard<std::mutex> lock(mu_);
-  TxnId id = (static_cast<TxnId>(engine_id_) << 40) |
-             next_txn_.fetch_add(1, std::memory_order_relaxed);
+  TxnId id = MintTxnId();
   auto info = std::make_unique<TxnInfo>();
   info->id = id;
   info->snapshot_ts = snapshot_ts;
@@ -42,8 +57,7 @@ TxnId TxnEngine::BeginBranch(Timestamp snapshot_ts, GlobalTxnId global_id,
   std::lock_guard<std::mutex> lock(mu_);
   auto existing = branches_.find(global_id);
   if (existing != branches_.end()) return existing->second;  // retried Begin
-  TxnId id = (static_cast<TxnId>(engine_id_) << 40) |
-             next_txn_.fetch_add(1, std::memory_order_relaxed);
+  TxnId id = MintTxnId();
   auto info = std::make_unique<TxnInfo>();
   info->id = id;
   info->snapshot_ts = snapshot_ts;
@@ -315,6 +329,74 @@ Status TxnEngine::Insert(TxnId txn, TableId table, const Row& row) {
   return Write(txn, table, key, row, /*deleted=*/false, RedoType::kInsert);
 }
 
+Status TxnEngine::BulkLoad(TxnId txn, TableId table,
+                           const std::vector<Row>& rows) {
+  TableStore* ts = catalog_->FindTable(table);
+  if (ts == nullptr) return Status::NotFound("table unknown");
+
+  Timestamp snapshot_ts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TxnInfo* info = FindTxnLocked(txn);
+    if (info == nullptr) return Status::NotFound("txn unknown");
+    if (info->state != TxnState::kActive) {
+      return Status::Aborted("txn not active");
+    }
+    snapshot_ts = info->snapshot_ts;
+  }
+
+  std::vector<TxnInfo::WriteRef> refs;
+  std::vector<RedoRecord> recs;
+  refs.reserve(rows.size());
+  recs.reserve(rows.size());
+  for (const Row& row : rows) {
+    Status valid = ts->schema().ValidateRow(row);
+    EncodedKey key = valid.ok() ? EncodeKey(ts->schema().ExtractKey(row))
+                                : EncodedKey{};
+    auto version = std::make_shared<Version>(txn, /*deleted=*/false, row);
+    bool conflict =
+        valid.ok() &&
+        ts->rows().PushChecked(key, version, snapshot_ts, txn) !=
+            MvccTable::PushResult::kOk;
+    if (!valid.ok() || conflict) {
+      // Unwind everything this call installed; nothing was logged yet.
+      for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
+        ts->rows().RemoveUncommitted(it->key, txn);
+      }
+      if (conflict) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.conflicts;
+        return Status::Conflict("bulk load write-write conflict");
+      }
+      return valid;
+    }
+    refs.push_back(TxnInfo::WriteRef{table, key, version});
+    RedoRecord rec;
+    rec.type = RedoType::kInsert;
+    rec.txn_id = txn;
+    rec.table_id = table;
+    rec.key = key;
+    rec.row = row;
+    recs.push_back(std::move(rec));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TxnInfo* info = FindTxnLocked(txn);
+    if (info == nullptr) return Status::NotFound("txn vanished");
+    info->writes.insert(info->writes.end(), refs.begin(), refs.end());
+  }
+
+  // One MTR covers the whole batch (the bulk-load win: 50k rows = one
+  // append + one dirty-page sweep instead of 50k MTRs).
+  MtrHandle mtr = log_->AppendMtr(recs);
+  for (const auto& ref : refs) {
+    pool_->MarkDirty(MakePageId(table, ts->PageNoFor(ref.key)),
+                     mtr.start_lsn);
+  }
+  return Status::Ok();
+}
+
 Status TxnEngine::Update(TxnId txn, TableId table, const Row& row) {
   TableStore* ts = catalog_->FindTable(table);
   if (ts == nullptr) return Status::NotFound("table unknown");
@@ -360,7 +442,7 @@ Result<Timestamp> TxnEngine::Prepare(TxnId txn, uint32_t commit_owner) {
   MtrHandle mtr = log_->AppendMtr({rec});
   // Redo must be durable locally before the participant ACKs prepare (§III:
   // flushed to PolarFS before commit).
-  log_->MarkFlushed(mtr.end_lsn);
+  RequestDurable(mtr.end_lsn, /*require_local_flush=*/true);
   return info->prepare_ts;
 }
 
@@ -380,7 +462,7 @@ Result<Timestamp> TxnEngine::DecideCommit(GlobalTxnId global_id,
   MtrHandle mtr = log_->AppendMtr({rec});
   // The decision IS the commit point: it must survive a crash of this
   // participant before any phase-2 commit is observable.
-  log_->MarkFlushed(mtr.end_lsn);
+  RequestDurable(mtr.end_lsn, /*require_local_flush=*/true);
   return commit_ts;
 }
 
@@ -398,7 +480,7 @@ Status TxnEngine::DecideAbort(GlobalTxnId global_id) {
   rec.type = RedoType::kTxnAbortPoint;
   rec.global_txn = global_id;
   MtrHandle mtr = log_->AppendMtr({rec});
-  log_->MarkFlushed(mtr.end_lsn);
+  RequestDurable(mtr.end_lsn, /*require_local_flush=*/true);
   return Status::Ok();
 }
 
@@ -477,7 +559,7 @@ Status TxnEngine::Commit(TxnId txn, Timestamp commit_ts) {
   rec.txn_id = txn;
   rec.ts = commit_ts;
   MtrHandle mtr = log_->AppendMtr({rec});
-  log_->MarkFlushed(mtr.end_lsn);
+  RequestDurable(mtr.end_lsn, /*require_local_flush=*/true);
   return ResolveLocked(lock, info, /*commit=*/true, commit_ts);
 }
 
@@ -499,7 +581,12 @@ Status TxnEngine::Abort(TxnId txn) {
   RedoRecord rec;
   rec.type = RedoType::kTxnAbort;
   rec.txn_id = txn;
-  log_->AppendMtr({rec});
+  MtrHandle mtr = log_->AppendMtr({rec});
+  // Presumed abort: no synchronous flush needed, but with a group-commit
+  // hook the abort record must still request a flush or replication would
+  // never be kicked for abort-only traffic (RPC repliers park on DLSN
+  // reaching the record).
+  RequestDurable(mtr.end_lsn, /*require_local_flush=*/false);
   return ResolveLocked(lock, info, /*commit=*/false, 0);
 }
 
@@ -662,7 +749,7 @@ Status TxnEngine::RecoverState(const std::vector<RedoRecord>& records) {
     rec.type = RedoType::kTxnAbort;
     rec.txn_id = txn_id;
     MtrHandle mtr = log_->AppendMtr({rec});
-    log_->MarkFlushed(mtr.end_lsn);
+    RequestDurable(mtr.end_lsn, /*require_local_flush=*/true);
   }
 
   if (max_ts != 0) hlc_->Update(max_ts);

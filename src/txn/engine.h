@@ -83,6 +83,13 @@ struct TxnEngineOptions {
   /// the oracle and that inequality does not hold, so the filter must be
   /// disabled (Percolator-style: wait on any PREPARED writer).
   bool use_prepare_ts_filter = true;
+  /// Incarnation of this engine instance, folded into every minted TxnId.
+  /// A rebuilt engine (failover promotion) must never re-issue an id from a
+  /// previous life: branches that only ever lived in the old instance's
+  /// memory are unrecoverable from the log, and a retried 2PC RPC carrying
+  /// such an id would otherwise alias a fresh branch that happened to draw
+  /// the same counter value — preparing (and committing) the wrong writes.
+  uint32_t id_epoch = 0;
 };
 
 class TxnEngine {
@@ -98,6 +105,19 @@ class TxnEngine {
   Hlc* hlc() { return hlc_; }
   RedoLog* redo_log() { return log_; }
   uint32_t engine_id() const { return engine_id_; }
+
+  /// Installs the write-path durability hook (redo group commit). When
+  /// set, commit-path operations (Prepare, Decide*, Commit, Abort,
+  /// recovery resolutions) no longer call MarkFlushed synchronously;
+  /// they hand their MTR's end LSN to the hook, which owns scheduling
+  /// the (batched) flush and the replication kick. The caller still must
+  /// not treat the operation as durable until the covering LSN is
+  /// replicated (AsyncCommitter waiter) — the hook only REQUESTS
+  /// durability. Unset (default): the engine flushes synchronously, the
+  /// standalone single-node behaviour.
+  void SetDurabilityHook(std::function<void(Lsn)> hook) {
+    durability_hook_ = std::move(hook);
+  }
 
   // ---- lifecycle ----
 
@@ -211,6 +231,14 @@ class TxnEngine {
   // ---- writes ----
 
   Status Insert(TxnId txn, TableId table, const Row& row);
+
+  /// Bulk-load fast path: installs all `rows` (no duplicate-key read per
+  /// row — the caller owns key uniqueness, e.g. a benchmark seeding a
+  /// fresh table) and appends ONE redo MTR covering every row instead of
+  /// an MTR per Insert. On any write-write conflict the already-installed
+  /// versions of this call are unwound and nothing is logged.
+  Status BulkLoad(TxnId txn, TableId table, const std::vector<Row>& rows);
+
   Status Update(TxnId txn, TableId table, const Row& row);
   /// Inserts or updates without existence check (sysbench-style upsert).
   Status Upsert(TxnId txn, TableId table, const Row& row);
@@ -251,6 +279,14 @@ class TxnEngine {
   Status ResolveLocked(std::unique_lock<std::mutex>& lock, TxnInfo* info,
                        bool commit, Timestamp commit_ts);
 
+  /// Routes a commit-path durability request: the hook when installed
+  /// (group commit), else a synchronous MarkFlushed when the operation
+  /// requires local durability before returning. Aborts pass
+  /// `require_local_flush=false` — without a hook they are lazily
+  /// flushed (riding a later flush), matching presumed-abort semantics.
+  void RequestDurable(Lsn end_lsn, bool require_local_flush);
+
+  TxnId MintTxnId();
   TxnInfo* FindTxnLocked(TxnId txn);
   const TxnInfo* FindTxnLocked(TxnId txn) const;
 
@@ -270,6 +306,7 @@ class TxnEngine {
   std::unordered_map<GlobalTxnId, TxnId> branches_;
   /// Commit-point registry for globals whose commit owner is this engine.
   std::unordered_map<GlobalTxnId, CommitDecision> decisions_;
+  std::function<void(Lsn)> durability_hook_;
   TxnEngineStats stats_;
 };
 

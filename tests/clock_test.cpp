@@ -7,6 +7,7 @@
 
 #include "src/clock/hlc.h"
 #include "src/clock/tso.h"
+#include "src/clock/tso_coalescer.h"
 
 namespace polarx {
 namespace {
@@ -254,6 +255,118 @@ TEST_P(HlcCausalitySweep, MessageChainsPreserveHappensBefore) {
 
 INSTANTIATE_TEST_SUITE_P(Hops, HlcCausalitySweep,
                          ::testing::Values(1, 2, 5, 10, 50, 200));
+
+// ---------------------------------------------------------------------------
+// CN-side TSO request coalescing
+// ---------------------------------------------------------------------------
+
+/// A fake TSO transport with explicit completion control: fetches park in
+/// `pending` until the test completes them, granting ranges from a
+/// strictly increasing counter (like TsoService::NextBatch).
+struct FakeTsoFetcher {
+  struct Pending {
+    uint32_t count;
+    TsoCoalescer::FetchCallback cb;
+  };
+  std::vector<Pending> pending;
+  Timestamp next = 100;
+
+  TsoCoalescer::FetchFn Fn() {
+    return [this](uint32_t count, TsoCoalescer::FetchCallback cb) {
+      pending.push_back({count, std::move(cb)});
+    };
+  }
+  void CompleteNext() {
+    Pending p = std::move(pending.front());
+    pending.erase(pending.begin());
+    Timestamp first = next;
+    next += p.count;
+    p.cb(Status::Ok(), first, p.count);
+  }
+  void FailNext() {
+    Pending p = std::move(pending.front());
+    pending.erase(pending.begin());
+    p.cb(Status::Unavailable("tso down"), kInvalidTimestamp, 0);
+  }
+};
+
+TEST(TsoCoalescerTest, FirstRequestDispatchesImmediately) {
+  FakeTsoFetcher tso;
+  TsoCoalescer c(tso.Fn());
+  Timestamp got = 0;
+  c.Request([&](Status s, Timestamp ts) {
+    ASSERT_TRUE(s.ok());
+    got = ts;
+  });
+  ASSERT_EQ(tso.pending.size(), 1u) << "idle coalescer must not buffer";
+  EXPECT_EQ(tso.pending[0].count, 1u);
+  tso.CompleteNext();
+  EXPECT_EQ(got, 100u);
+  EXPECT_EQ(c.stats().fetches, 1u);
+}
+
+TEST(TsoCoalescerTest, ConcurrentRequestsShareOneFetch) {
+  FakeTsoFetcher tso;
+  TsoCoalescer c(tso.Fn());
+  std::vector<Timestamp> grants;
+  auto grab = [&](Status s, Timestamp ts) {
+    ASSERT_TRUE(s.ok());
+    grants.push_back(ts);
+  };
+  c.Request(grab);            // dispatches fetch #1 (count 1)
+  for (int i = 0; i < 9; ++i) c.Request(grab);  // queue behind it
+  ASSERT_EQ(tso.pending.size(), 1u) << "only one fetch in flight";
+  tso.CompleteNext();
+  // The 9 queued requests ride ONE follow-up fetch sized to the backlog.
+  ASSERT_EQ(tso.pending.size(), 1u);
+  EXPECT_EQ(tso.pending[0].count, 9u);
+  tso.CompleteNext();
+  ASSERT_EQ(grants.size(), 10u);
+  for (size_t i = 1; i < grants.size(); ++i) {
+    EXPECT_GT(grants[i], grants[i - 1]) << "per-CN hand-out is monotonic";
+  }
+  EXPECT_EQ(c.stats().requests, 10u);
+  EXPECT_EQ(c.stats().fetches, 2u);
+  EXPECT_EQ(c.stats().max_batch, 9u);
+}
+
+TEST(TsoCoalescerTest, FailedFetchFailsOnlyItsRiders) {
+  FakeTsoFetcher tso;
+  TsoCoalescer c(tso.Fn());
+  int failed = 0, granted = 0;
+  c.Request([&](Status s, Timestamp) { s.ok() ? ++granted : ++failed; });
+  c.Request([&](Status s, Timestamp) { s.ok() ? ++granted : ++failed; });
+  c.Request([&](Status s, Timestamp) { s.ok() ? ++granted : ++failed; });
+  tso.FailNext();  // fetch #1 carried only the first request
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(granted, 0);
+  ASSERT_EQ(tso.pending.size(), 1u) << "queued requests retry on fetch #2";
+  tso.CompleteNext();
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(granted, 2);
+}
+
+TEST(TsoCoalescerTest, GrantCallbackMayRequestAgain) {
+  // A grant handler that immediately needs another timestamp (commit-ts
+  // after snapshot-ts) must not recurse into a nested dispatch while the
+  // coalescer is mid-handout.
+  FakeTsoFetcher tso;
+  TsoCoalescer c(tso.Fn());
+  std::vector<Timestamp> grants;
+  c.Request([&](Status s, Timestamp ts) {
+    ASSERT_TRUE(s.ok());
+    grants.push_back(ts);
+    c.Request([&](Status s2, Timestamp ts2) {
+      ASSERT_TRUE(s2.ok());
+      grants.push_back(ts2);
+    });
+  });
+  tso.CompleteNext();
+  ASSERT_EQ(tso.pending.size(), 1u);
+  tso.CompleteNext();
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_GT(grants[1], grants[0]);
+}
 
 }  // namespace
 }  // namespace polarx

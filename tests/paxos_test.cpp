@@ -3,7 +3,10 @@
 // cleanup, logger role, and DC-disaster survival.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
+#include <random>
 #include <vector>
 
 #include "src/consensus/paxos.h"
@@ -343,6 +346,199 @@ TEST(PaxosTest, HeartbeatsPropagateDlsnToFollowers) {
   g.RunFor(200 * sim::kUsPerMs);  // several heartbeat periods
   EXPECT_GE(g.f1->dlsn(), h.end_lsn);
   EXPECT_GE(g.f2->dlsn(), h.end_lsn);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental quorum tracking (replaces the per-ack sort in HandleAck)
+// ---------------------------------------------------------------------------
+
+TEST(QuorumMatchTrackerTest, MatchesSortedRecomputeOverRandomAckOrders) {
+  // The old DLSN computation collected every member's match LSN, sorted
+  // descending, and took the quorum-th largest. The tracker must agree
+  // with that after every single update, for any interleaving of
+  // monotonically increasing per-member acks.
+  for (uint64_t seed : {1u, 7u, 42u, 1234u, 99999u}) {
+    std::mt19937_64 rng(seed);
+    for (size_t members : {3u, 5u, 7u}) {
+      size_t quorum = members / 2 + 1;
+      QuorumMatchTracker tracker;
+      tracker.Reset(quorum);
+      std::map<NodeId, Lsn> model;
+      for (int step = 0; step < 400; ++step) {
+        NodeId id = NodeId(rng() % members + 1);
+        Lsn bump = rng() % 500;
+        Lsn next = model.count(id) ? model[id] + bump : bump + 1;
+        // Exercise the stale-ack path too: occasionally send a value at
+        // or below the current match, which must be ignored.
+        if (rng() % 4 == 0 && model.count(id)) next = model[id] - bump % 2;
+        tracker.Set(id, next);
+        model[id] = std::max(model[id], next);
+
+        std::vector<Lsn> sorted;
+        for (auto& [n, l] : model) sorted.push_back(l);
+        std::sort(sorted.begin(), sorted.end(), std::greater<Lsn>());
+        Lsn expected = sorted.size() < quorum ? 0 : sorted[quorum - 1];
+        ASSERT_EQ(tracker.QuorumValue(), expected)
+            << "seed=" << seed << " members=" << members << " step=" << step;
+      }
+    }
+  }
+}
+
+TEST(QuorumMatchTrackerTest, BelowQuorumReportsZero) {
+  QuorumMatchTracker tracker;
+  tracker.Reset(2);
+  EXPECT_EQ(tracker.QuorumValue(), 0u);
+  tracker.Set(1, 100);
+  EXPECT_EQ(tracker.QuorumValue(), 0u) << "one entry cannot form quorum 2";
+  tracker.Set(2, 60);
+  EXPECT_EQ(tracker.QuorumValue(), 60u);
+  tracker.Set(2, 150);
+  EXPECT_EQ(tracker.QuorumValue(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Follower ack coalescing (pipelined appends answered by cumulative acks)
+// ---------------------------------------------------------------------------
+
+TEST(PaxosTest, CoalescedAcksCoverPipelinedFrames) {
+  PaxosConfig cfg;
+  cfg.max_batch_bytes = 256;  // force many frames per burst
+  GroupFixture g(cfg);
+  // Burst appends faster than the follower's flush latency: frames arrive
+  // while a flush is in flight and must fold into its ack window.
+  for (int i = 0; i < 60; ++i) g.leader->Append({TestRecord(1, i)});
+  g.RunFor(100 * sim::kUsPerMs);
+  ASSERT_GE(g.leader->dlsn(), g.leader->log()->current_lsn());
+  EXPECT_EQ(g.f1->log()->current_lsn(), g.leader->log()->current_lsn());
+  // The whole point: far fewer acks (and follower flushes) than frames.
+  EXPECT_GT(g.f1->frames_received(), g.f1->acks_sent())
+      << "a burst must be answered by cumulative acks, not one per frame";
+}
+
+// ---------------------------------------------------------------------------
+// Leader-side redo group commit
+// ---------------------------------------------------------------------------
+
+/// Appends one MTR to the leader's log WITHOUT flushing or replicating —
+/// exactly what the DN engine does before its durability hook fires.
+MtrHandle EngineAppend(PaxosMember* leader, TxnId txn, int64_t id) {
+  return leader->log()->AppendMtr({TestRecord(txn, id)});
+}
+
+TEST(GroupCommitTest, ConcurrentSubmitsShareOneFlush) {
+  GroupFixture g;
+  GroupCommitConfig gcc;
+  GroupCommitDriver driver(&g.sched, g.leader, gcc);
+  AsyncCommitter committer(g.leader);
+  int completed = 0;
+  // A burst of 16 commits in the same instant: the first Submit opens a
+  // flush; the other 15 accumulate behind it and ride the second flush.
+  for (int i = 0; i < 16; ++i) {
+    MtrHandle h = EngineAppend(g.leader, TxnId(i + 1), i);
+    driver.Submit(h.end_lsn);
+    committer.Submit(h.end_lsn, [&] { ++completed; });
+  }
+  g.RunFor(100 * sim::kUsPerMs);
+  EXPECT_EQ(completed, 16);
+  EXPECT_GE(g.leader->dlsn(), g.leader->log()->current_lsn());
+  EXPECT_EQ(driver.submits(), 16u);
+  EXPECT_LE(driver.flushes(), 2u) << "16 commits must not pay 16 flushes";
+  EXPECT_GE(driver.max_group(), 15u);
+}
+
+TEST(GroupCommitTest, DisabledModeFlushesOncePerSubmit) {
+  GroupFixture g;
+  GroupCommitConfig gcc;
+  gcc.enabled = false;
+  GroupCommitDriver driver(&g.sched, g.leader, gcc);
+  AsyncCommitter committer(g.leader);
+  int completed = 0;
+  for (int i = 0; i < 8; ++i) {
+    MtrHandle h = EngineAppend(g.leader, TxnId(i + 1), i);
+    driver.Submit(h.end_lsn);
+    committer.Submit(h.end_lsn, [&] { ++completed; });
+  }
+  g.RunFor(100 * sim::kUsPerMs);
+  EXPECT_EQ(completed, 8);
+  EXPECT_EQ(driver.flushes(), 8u)
+      << "ablation baseline: one serialized flush per commit";
+  EXPECT_EQ(driver.max_group(), 1u);
+}
+
+TEST(GroupCommitTest, ByteCapSplitsGroupsAtMtrBoundaries) {
+  GroupFixture g;
+  GroupCommitConfig gcc;
+  gcc.max_group_bytes = 512;  // far below the burst's total
+  GroupCommitDriver driver(&g.sched, g.leader, gcc);
+  std::vector<Lsn> ends;
+  for (int i = 0; i < 20; ++i) {
+    MtrHandle h = EngineAppend(g.leader, TxnId(i + 1), i);
+    ends.push_back(h.end_lsn);
+    driver.Submit(h.end_lsn);
+  }
+  g.RunFor(100 * sim::kUsPerMs);
+  EXPECT_GT(driver.flushes(), 2u) << "byte cap must split the burst";
+  EXPECT_EQ(g.leader->log()->flushed_lsn(), ends.back());
+  // Every flush target sat on an MTR boundary: the final flushed LSN
+  // parses cleanly with no partial record tail.
+  std::vector<RedoRecord> recs;
+  ASSERT_TRUE(
+      g.leader->log()->ReadRecords(1, g.leader->log()->flushed_lsn(), &recs)
+          .ok());
+  EXPECT_EQ(recs.size(), 20u);
+}
+
+TEST(GroupCommitTest, IdleSubmitFlushesWithoutWaitingForWindow) {
+  GroupFixture g;
+  GroupCommitConfig gcc;
+  gcc.max_group_wait_us = 10 * 1000;  // a large window must NOT add latency
+  GroupCommitDriver driver(&g.sched, g.leader, gcc);
+  MtrHandle h = EngineAppend(g.leader, 1, 1);
+  sim::SimTime before = g.sched.Now();
+  driver.Submit(h.end_lsn);
+  while (g.leader->log()->flushed_lsn() < h.end_lsn &&
+         g.sched.PendingEvents() > 0) {
+    g.sched.Step();
+  }
+  EXPECT_LE(g.sched.Now() - before, gcc.flush_latency_us + 1)
+      << "an idle driver fires immediately; the window only forms under "
+         "load";
+}
+
+TEST(GroupCommitTest, TruncationVoidsInFlightFlush) {
+  // The leader is partitioned mid-burst, a new leader takes over, and the
+  // old one truncates its unacked suffix on rejoin. A group flush that was
+  // in flight across the truncation must NOT mark the (reassigned) LSN
+  // range flushed.
+  GroupFixture g;
+  GroupCommitDriver driver(&g.sched, g.leader, {});
+  MtrHandle durable = g.leader->Append({TestRecord(1, 1)});
+  g.RunFor(20 * sim::kUsPerMs);
+  ASSERT_GE(g.leader->dlsn(), durable.end_lsn);
+
+  g.net.SetNodeUp(g.leader->node(), false);
+  MtrHandle lost = EngineAppend(g.leader, 99, 99);
+  driver.Submit(lost.end_lsn);  // flush now in flight toward doomed bytes
+
+  g.RunFor(2000 * sim::kUsPerMs);
+  PaxosMember* new_leader = g.group->CurrentLeader();
+  ASSERT_NE(new_leader, nullptr);
+  MtrHandle h2 = new_leader->Append({TestRecord(2, 2)});
+  g.RunFor(2000 * sim::kUsPerMs);
+  ASSERT_GE(new_leader->dlsn(), h2.end_lsn);
+
+  g.net.SetNodeUp(g.leader->node(), true);
+  g.leader->Recover();
+  g.RunFor(5000 * sim::kUsPerMs);
+  // Old leader converged on the new history; txn 99 is gone and nothing
+  // beyond the converged log is marked flushed.
+  EXPECT_LE(g.leader->log()->flushed_lsn(), g.leader->log()->current_lsn());
+  std::vector<RedoRecord> recs;
+  ASSERT_TRUE(
+      g.leader->log()->ReadRecords(1, g.leader->log()->current_lsn(), &recs)
+          .ok());
+  for (const auto& rec : recs) EXPECT_NE(rec.txn_id, 99u);
 }
 
 }  // namespace

@@ -441,5 +441,106 @@ TEST_P(SiPropertyTest, BalancePreservedUnderConcurrentTransfers) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SiPropertyTest,
                          ::testing::Values(1, 2, 3, 17, 99, 12345));
 
+// ---------------------------------------------------------------------------
+// Bulk load + the commit-durability hook (write-path batching seams)
+// ---------------------------------------------------------------------------
+
+TEST(TxnEngineTest, BulkLoadAppendsOneMtrForAllRows) {
+  EngineFixture f;
+  TxnId txn = f.engine.Begin();
+  std::vector<Row> rows;
+  for (int64_t i = 1; i <= 100; ++i) rows.push_back(f.MakeRow(i, "bulk"));
+  uint64_t mtrs_before = f.log.mtrs_appended();
+  ASSERT_TRUE(f.engine.BulkLoad(txn, f.table_id, rows).ok());
+  EXPECT_EQ(f.log.mtrs_appended() - mtrs_before, 1u)
+      << "bulk load must batch all rows into a single MTR append";
+  ASSERT_TRUE(f.engine.CommitLocal(txn).ok());
+  EXPECT_EQ(f.Get(1), "bulk");
+  EXPECT_EQ(f.Get(100), "bulk");
+}
+
+TEST(TxnEngineTest, BulkLoadConflictInstallsNothing) {
+  EngineFixture f;
+  // A concurrent ACTIVE writer holds key 50: the bulk load hits a
+  // write-write conflict partway through and must unwind rows 48-49.
+  TxnId writer = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Upsert(writer, f.table_id, f.MakeRow(50, "w")).ok());
+  TxnId txn = f.engine.Begin();
+  std::vector<Row> rows;
+  for (int64_t i = 48; i <= 51; ++i) rows.push_back(f.MakeRow(i, "bulk"));
+  uint64_t mtrs_before = f.log.mtrs_appended();
+  EXPECT_TRUE(f.engine.BulkLoad(txn, f.table_id, rows).IsConflict());
+  EXPECT_EQ(f.log.mtrs_appended(), mtrs_before) << "failed load logs nothing";
+  ASSERT_TRUE(f.engine.Abort(txn).ok());
+  ASSERT_TRUE(f.engine.CommitLocal(writer).ok());
+  EXPECT_EQ(f.Get(48), std::nullopt);
+  EXPECT_EQ(f.Get(49), std::nullopt);
+  EXPECT_EQ(f.Get(51), std::nullopt);
+  EXPECT_EQ(f.Get(50), "w");
+}
+
+TEST(TxnEngineTest, DurabilityHookReplacesDirectFlush) {
+  EngineFixture f;
+  std::vector<Lsn> submitted;
+  f.engine.SetDurabilityHook([&](Lsn end) { submitted.push_back(end); });
+  Lsn flushed_before = f.log.flushed_lsn();
+  f.Put(1, "a");
+  ASSERT_FALSE(submitted.empty())
+      << "commit must route durability through the hook";
+  EXPECT_EQ(f.log.flushed_lsn(), flushed_before)
+      << "with a hook installed the engine no longer flushes directly";
+  EXPECT_EQ(submitted.back(), f.log.current_lsn());
+  // The hook owner (group-commit driver in the cluster) flushes later.
+  f.log.MarkFlushed(submitted.back());
+  EXPECT_EQ(f.Get(1), "a");
+}
+
+TEST(TxnEngineTest, WithoutHookCommitStillFlushesDirectly) {
+  EngineFixture f;
+  f.Put(1, "a");
+  EXPECT_EQ(f.log.flushed_lsn(), f.log.current_lsn())
+      << "legacy standalone-engine behavior is preserved";
+}
+
+TEST(TxnEngineTest, AbortRoutesThroughHookWithoutRequiringFlush) {
+  EngineFixture f;
+  std::vector<Lsn> submitted;
+  f.engine.SetDurabilityHook([&](Lsn end) { submitted.push_back(end); });
+  TxnId txn = f.engine.Begin();
+  ASSERT_TRUE(f.engine.Insert(txn, f.table_id, f.MakeRow(1, "a")).ok());
+  size_t before = submitted.size();
+  ASSERT_TRUE(f.engine.Abort(txn).ok());
+  EXPECT_GT(submitted.size(), before)
+      << "abort records must still kick replication when a hook is set";
+}
+
+TEST(TxnEngineTest, RebuiltEngineNeverReissuesTxnIdsFromPreviousLife) {
+  // A failover promotion rebuilds the engine, losing branches that were
+  // only ever in memory. If the new incarnation re-minted the same TxnIds,
+  // a retried 2PC RPC carrying a dead branch's id could prepare — and then
+  // commit — an unrelated branch that drew the same counter value. The
+  // id_epoch option keeps the id spaces of successive incarnations
+  // disjoint.
+  EngineFixture f;
+  std::vector<TxnId> old_ids;
+  for (int i = 0; i < 8; ++i) {
+    old_ids.push_back(f.engine.BeginBranch(0, GlobalTxnId(1000 + i), 7));
+  }
+
+  TxnEngineOptions opts;
+  opts.id_epoch = 1;  // next incarnation, same engine_id
+  TxnEngine rebuilt(1, &f.catalog, &f.hlc, &f.log, &f.pool, opts);
+  for (int i = 0; i < 8; ++i) {
+    TxnId fresh = rebuilt.BeginBranch(0, GlobalTxnId(2000 + i), 7);
+    for (TxnId old : old_ids) {
+      EXPECT_NE(fresh, old) << "incarnation " << opts.id_epoch
+                            << " re-issued a TxnId from incarnation 0";
+    }
+    // A 2PC RPC addressed to a previous life's branch must fail loudly
+    // instead of resolving to whatever branch recycled the counter.
+    EXPECT_TRUE(rebuilt.Prepare(old_ids[size_t(i)], 7).status().IsNotFound());
+  }
+}
+
 }  // namespace
 }  // namespace polarx
