@@ -1,8 +1,12 @@
-// Shared command-line knobs for the write-path benchmarks (E5 ablation):
+// Shared command-line knobs for the benchmarks (E4/E5 ablations):
 //
 //   --group_commit=off|on   leader-side redo group commit (default: on)
 //   --pipeline=N            max in-flight AppendFrames per follower; 1 means
 //                           stop-and-wait (default: 0 = library default)
+//   --runtime_filters=on|off  bloom/min-max runtime-filter pushdown in the
+//                           AP path (default: on; E4 ablation knob)
+//   --reps=N                timed repetitions per measurement (median
+//                           reported); 0 = bench default
 //   --json=PATH             write machine-readable results to PATH
 //   --smoke                 shrink every sweep to a ~2s deterministic run
 //                           (CI crash/empty-JSON canary, not a measurement)
@@ -27,6 +31,11 @@ struct BenchFlags {
   /// 0: leave PaxosConfig defaults untouched. 1: stop-and-wait. N>=2:
   /// pipelining with at most N outstanding frames per follower.
   int pipeline = 0;
+  /// Runtime-filter pushdown for the AP benches (ScanOptions default: on).
+  bool runtime_filters = true;
+  bool runtime_filters_set = false;
+  /// Timed repetitions per measurement (median reported); 0 = bench default.
+  int reps = 0;
   std::string json_path;
   bool smoke = false;
 
@@ -56,6 +65,19 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
         std::fprintf(stderr, "--pipeline takes an integer >= 1\n");
         std::exit(2);
       }
+    } else if (const char* v = value_of("--runtime_filters=")) {
+      if (std::strcmp(v, "on") != 0 && std::strcmp(v, "off") != 0) {
+        std::fprintf(stderr, "--runtime_filters takes on|off, got '%s'\n", v);
+        std::exit(2);
+      }
+      f.runtime_filters = std::strcmp(v, "on") == 0;
+      f.runtime_filters_set = true;
+    } else if (const char* v = value_of("--reps=")) {
+      f.reps = std::atoi(v);
+      if (f.reps < 1) {
+        std::fprintf(stderr, "--reps takes an integer >= 1\n");
+        std::exit(2);
+      }
     } else if (const char* v = value_of("--json=")) {
       f.json_path = v;
     } else if (a == "--smoke") {
@@ -63,7 +85,8 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s\nknown: --group_commit=on|off "
-                   "--pipeline=N --json=PATH --smoke\n",
+                   "--pipeline=N --runtime_filters=on|off --reps=N "
+                   "--json=PATH --smoke\n",
                    a.c_str());
       std::exit(2);
     }

@@ -9,14 +9,26 @@
 //            time. This is the idealized 4-CN wall time, the quantity the
 //            paper's figure varies (see DESIGN.md substitution table).
 //   column : single-node execution against the in-memory column index
-//            (§VI-E) — vectorized scans/filters, compact columns.
+//            (§VI-E) — vectorized scans/filters, column-native hash joins,
+//            and bloom/min-max runtime-filter pushdown (DESIGN.md §9).
+//
+// Each mode is measured as the median of --reps timed runs after one
+// untimed warmup. Runtime-filter counters (rows reaching join probes, rows
+// pruned at scans) are captured per query/mode so the --runtime_filters
+// on/off ablation can report how much the filters shrink the rows shuffled
+// into join fragments.
 //
 // Reported: per-query latency for each mode and the improvement ratios
 // ("MPP gain" = single/mpp - 1, "column gain" = single/column - 1),
 // matching the percentages Fig. 10 quotes.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <sstream>
+#include <vector>
 
+#include "bench/bench_flags.h"
+#include "src/exec/runtime_filter.h"
 #include "src/workload/tpch.h"
 
 namespace polarx::tpch {
@@ -31,29 +43,36 @@ double MsSince(Clock::time_point start) {
          1000.0;
 }
 
-struct QueryResult {
-  double single_ms = 0;
-  double mpp_ms = 0;
-  double column_ms = 0;
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
+struct ModeResult {
+  double ms = 0;
+  RuntimeFilterStats stats;  // from the first timed rep
 };
 
-double TimeSingle(int q, const TpchDb& db, bool colindex) {
+double TimeSingle(int q, const TpchDb& db, const ScanOptions& base) {
   auto start = Clock::now();
-  auto rows = RunQuerySingleNode(q, db, db.load_ts(), colindex);
+  auto rows = RunQuerySingleNode(q, db, db.load_ts(), base);
   if (!rows.ok()) {
-    std::fprintf(stderr, "Q%d failed: %s\n", q, rows.status().ToString().c_str());
+    std::fprintf(stderr, "Q%d failed: %s\n", q,
+                 rows.status().ToString().c_str());
   }
   return MsSince(start);
 }
 
 /// Critical-path MPP timing: run each of `tasks` fragments serially and
 /// take the slowest, then add the coordinator's merge time.
-double TimeMppCriticalPath(int q, const TpchDb& db, int tasks) {
+double TimeMppCriticalPath(int q, const TpchDb& db, int tasks,
+                           const ScanOptions& base) {
   TpchPlan plan = BuildQuery(q, db, db.load_ts());
   double max_fragment_ms = 0;
   std::vector<Row> gathered;
   for (int t = 0; t < tasks; ++t) {
-    ScanOptions opt;
+    ScanOptions opt = base;
     opt.task = t;
     opt.num_tasks = tasks;
     auto start = Clock::now();
@@ -72,11 +91,32 @@ double TimeMppCriticalPath(int q, const TpchDb& db, int tasks) {
   return max_fragment_ms + MsSince(start);
 }
 
+/// Warmup + median-of-reps wrapper; runtime-filter counters are read from
+/// the first timed rep (they are identical across reps).
+template <typename Fn>
+ModeResult Measure(int reps, Fn run) {
+  run();  // warmup: page in data, warm allocator + hash tables
+  ModeResult r;
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    ResetRuntimeFilterStats();
+    times.push_back(run());
+    if (i == 0) r.stats = ReadRuntimeFilterStats();
+  }
+  r.ms = Median(std::move(times));
+  return r;
+}
+
 }  // namespace
 }  // namespace polarx::tpch
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace polarx;
   using namespace polarx::tpch;
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  const int reps = flags.reps > 0 ? flags.reps : (flags.smoke ? 1 : 5);
+
   std::printf("E4 / Fig.10 — TPC-H: MPP engine and in-memory column index\n");
   std::printf(
       "paper: MPP improves 21 queries >100%% (Q9 best ~263%%; Q11 49%%, "
@@ -84,43 +124,92 @@ int main() {
       "Q12 556%%, Q14 547%%, Q15 463%%, Q21 348%%\n\n");
 
   TpchConfig cfg;
-  cfg.scale = 0.02;  // ~30k orders / ~120k lineitems
+  cfg.scale = flags.smoke ? 0.005 : 0.02;  // ~30k orders / ~120k lineitems
   cfg.shards_per_table = 8;
   TpchDb db(cfg);
   db.Load();
   for (int t = 0; t < kNumTables; ++t) {
     db.BuildColumnIndex(static_cast<Table>(t));
   }
-  std::printf("data: %llu lineitem rows over %u shards per table\n\n",
-              static_cast<unsigned long long>(db.row_count(kLineItem)),
-              cfg.shards_per_table);
+  std::printf(
+      "data: %llu lineitem rows over %u shards per table; reps=%d "
+      "runtime_filters=%s\n\n",
+      static_cast<unsigned long long>(db.row_count(kLineItem)),
+      cfg.shards_per_table, reps, flags.runtime_filters ? "on" : "off");
 
   constexpr int kMppTasks = 4;  // 4 CN servers, as in §VII-C
-  constexpr int kReps = 3;
+  ScanOptions row_base, col_base;
+  row_base.runtime_filters = flags.runtime_filters;
+  col_base.use_column_index = true;
+  col_base.runtime_filters = flags.runtime_filters;
 
-  std::printf("%-5s %12s %12s %12s %11s %11s\n", "query", "single(ms)",
-              "mpp(ms)", "column(ms)", "MPP gain", "col gain");
+  std::printf("%-5s %12s %12s %12s %11s %11s %14s\n", "query", "single(ms)",
+              "mpp(ms)", "column(ms)", "MPP gain", "col gain", "probe rows");
   double sum_single = 0, sum_mpp = 0, sum_col = 0;
+  uint64_t total_probe_single = 0, total_probe_col = 0,
+           total_dropped_col = 0;
+  std::ostringstream queries_json;
   for (int q = 1; q <= 22; ++q) {
-    QueryResult best;
-    best.single_ms = best.mpp_ms = best.column_ms = 1e300;
-    for (int rep = 0; rep < kReps; ++rep) {
-      best.single_ms = std::min(best.single_ms, TimeSingle(q, db, false));
-      best.mpp_ms =
-          std::min(best.mpp_ms, TimeMppCriticalPath(q, db, kMppTasks));
-      best.column_ms = std::min(best.column_ms, TimeSingle(q, db, true));
-    }
-    sum_single += best.single_ms;
-    sum_mpp += best.mpp_ms;
-    sum_col += best.column_ms;
-    std::printf("Q%-4d %12.2f %12.2f %12.2f %+10.0f%% %+10.0f%%\n", q,
-                best.single_ms, best.mpp_ms, best.column_ms,
-                100.0 * (best.single_ms / best.mpp_ms - 1.0),
-                100.0 * (best.single_ms / best.column_ms - 1.0));
+    ModeResult single = Measure(
+        reps, [&] { return TimeSingle(q, db, row_base); });
+    ModeResult mpp = Measure(reps, [&] {
+      return TimeMppCriticalPath(q, db, kMppTasks, row_base);
+    });
+    ModeResult column = Measure(
+        reps, [&] { return TimeSingle(q, db, col_base); });
+    sum_single += single.ms;
+    sum_mpp += mpp.ms;
+    sum_col += column.ms;
+    total_probe_single += single.stats.join_probe_rows;
+    total_probe_col += column.stats.join_probe_rows;
+    total_dropped_col += column.stats.scan_rows_dropped;
+    std::printf("Q%-4d %12.2f %12.2f %12.2f %+10.0f%% %+10.0f%% %14llu\n", q,
+                single.ms, mpp.ms, column.ms,
+                100.0 * (single.ms / mpp.ms - 1.0),
+                100.0 * (single.ms / column.ms - 1.0),
+                static_cast<unsigned long long>(
+                    column.stats.join_probe_rows));
+    queries_json << (q == 1 ? "" : ",\n    ")
+                 << "{\"q\": " << q << ", \"single_ms\": " << single.ms
+                 << ", \"mpp_ms\": " << mpp.ms
+                 << ", \"column_ms\": " << column.ms << ", \"mpp_gain\": "
+                 << (single.ms / mpp.ms - 1.0) << ", \"column_gain\": "
+                 << (single.ms / column.ms - 1.0)
+                 << ", \"single_join_probe_rows\": "
+                 << single.stats.join_probe_rows
+                 << ", \"single_scan_rows_dropped\": "
+                 << single.stats.scan_rows_dropped
+                 << ", \"column_join_probe_rows\": "
+                 << column.stats.join_probe_rows
+                 << ", \"column_scan_rows_dropped\": "
+                 << column.stats.scan_rows_dropped << "}";
   }
   std::printf("\ntotal %12.2f %12.2f %12.2f %+10.0f%% %+10.0f%%\n",
               sum_single, sum_mpp, sum_col,
               100.0 * (sum_single / sum_mpp - 1.0),
               100.0 * (sum_single / sum_col - 1.0));
+  std::printf(
+      "join probe rows (all 22 queries): row-single=%llu column=%llu; "
+      "rows pruned at column scans=%llu\n",
+      static_cast<unsigned long long>(total_probe_single),
+      static_cast<unsigned long long>(total_probe_col),
+      static_cast<unsigned long long>(total_dropped_col));
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"bench_mpp_colindex\",\n"
+       << "  \"config\": {\"scale\": " << cfg.scale
+       << ", \"shards_per_table\": " << cfg.shards_per_table
+       << ", \"mpp_tasks\": " << kMppTasks << ", \"reps\": " << reps
+       << ", \"runtime_filters\": "
+       << (flags.runtime_filters ? "true" : "false")
+       << ", \"smoke\": " << (flags.smoke ? "true" : "false") << "},\n"
+       << "  \"queries\": [\n    " << queries_json.str() << "\n  ],\n"
+       << "  \"totals\": {\"single_ms\": " << sum_single
+       << ", \"mpp_ms\": " << sum_mpp << ", \"column_ms\": " << sum_col
+       << ", \"single_join_probe_rows\": " << total_probe_single
+       << ", \"column_join_probe_rows\": " << total_probe_col
+       << ", \"column_scan_rows_dropped\": " << total_dropped_col
+       << "}\n}\n";
+  WriteBenchJson(flags, json.str());
   return 0;
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Regenerates bench/out/BENCH_mpp_colindex.json (experiment E4): runs
+# bench_mpp_colindex with runtime-filter pushdown on and off and merges the
+# two JSON fragments, so the committed file carries both the headline
+# single/MPP/column latencies and the filter ablation (join-probe-row
+# counts with filters on vs off). Deterministic data, median of --reps.
+#
+# Usage: scripts/bench_ap_path.sh [build-dir] [reps]   (default: build, 5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+REPS="${2:-5}"
+OUT="bench/out"
+mkdir -p "${OUT}"
+
+for rf in on off; do
+  echo "==> bench_mpp_colindex: runtime_filters=${rf}"
+  "${BUILD}/bench/bench_mpp_colindex" --reps="${REPS}" \
+    --runtime_filters="${rf}" \
+    --json="${OUT}/bench_mpp_colindex_rf_${rf}.json"
+done
+
+python3 - "$OUT" <<'EOF'
+import json, sys, os
+out = sys.argv[1]
+merged = {"experiment": "E4 - MPP engine + column index (Fig. 10)",
+          "ablation": "runtime_filters {on,off}"}
+for rf in ("on", "off"):
+    with open(os.path.join(out, f"bench_mpp_colindex_rf_{rf}.json")) as f:
+        frag = json.load(f)
+    frag.pop("bench")
+    merged[f"runtime_filters_{rf}"] = frag
+on_t = merged["runtime_filters_on"]["totals"]
+off_t = merged["runtime_filters_off"]["totals"]
+merged["ablation_summary"] = {
+    "column_join_probe_rows_on": on_t["column_join_probe_rows"],
+    "column_join_probe_rows_off": off_t["column_join_probe_rows"],
+    "single_join_probe_rows_on": on_t["single_join_probe_rows"],
+    "single_join_probe_rows_off": off_t["single_join_probe_rows"],
+    "column_total_ms_on": on_t["column_ms"],
+    "column_total_ms_off": off_t["column_ms"],
+}
+path = os.path.join(out, "BENCH_mpp_colindex.json")
+with open(path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print("wrote", path)
+EOF

@@ -21,12 +21,14 @@ cmake --build "${PREFIX}" -j "${JOBS}"
 echo "==> tier-1: full test suite"
 ctest --test-dir "${PREFIX}" --output-on-failure
 
-echo "==> bench-smoke: write-path ablation knobs + JSON emission"
-# Each write-path bench runs its E5 grid in --smoke shape (seconds of
-# virtual time); a crash, a rejected flag, or an unwritable JSON fails the
-# test, and an empty JSON artifact fails the check below.
+echo "==> bench-smoke: ablation knobs + JSON emission"
+# Each bench runs its grid in --smoke shape (seconds of virtual time, or a
+# tiny TPC-H scale for the AP bench); a crash, a rejected flag, or an
+# unwritable JSON fails the test, and an empty JSON artifact fails the
+# check below.
 ctest --test-dir "${PREFIX}" -L bench-smoke --output-on-failure
-for b in bench_replication bench_paxos_ablation bench_cross_dc_txn; do
+for b in bench_replication bench_paxos_ablation bench_cross_dc_txn \
+         bench_mpp_colindex; do
   f="${PREFIX}/bench/out/${b}_smoke.json"
   if [ ! -s "${f}" ]; then
     echo "bench-smoke: ${f} missing or empty" >&2
@@ -47,5 +49,11 @@ for seed in 7 19 43; do
   POLARX_CHAOS_SEED="${seed}" \
     ctest --test-dir "${PREFIX}-asan" -L chaos --output-on-failure
 done
+
+echo "==> asan: runtime-filter / column-join units"
+# The bloom filter and the column hash join lean on raw hashing and
+# selection-vector slicing; run their unit suites under ASan+UBSan too.
+ctest --test-dir "${PREFIX}-asan" -R 'runtime_filter_test|colindex_test' \
+  --output-on-failure
 
 echo "==> ci.sh: all green"

@@ -1,6 +1,7 @@
 #include "src/colindex/column_index.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/storage/key_codec.h"
 
@@ -271,6 +272,28 @@ Row ColumnIndex::MaterializeRow(uint32_t rowid) const {
   return row;
 }
 
+void ColumnIndex::MaterializeBatch(const std::vector<uint32_t>& selection,
+                                   size_t start, size_t count,
+                                   const std::vector<int>& cols,
+                                   std::vector<Row>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t end = std::min(start + count, selection.size());
+  for (size_t i = start; i < end; ++i) {
+    const uint32_t r = selection[i];
+    Row row;
+    if (cols.empty()) {
+      row.reserve(columns_.size());
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        row.push_back(data_[c].Get(r));
+      }
+    } else {
+      row.reserve(cols.size());
+      for (int c : cols) row.push_back(data_[c].Get(r));
+    }
+    out->push_back(std::move(row));
+  }
+}
+
 double ColumnIndex::SumSelected(int col,
                                 const std::vector<uint32_t>& selection) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -350,6 +373,13 @@ bool ColumnIndex::EvalNumericVector(const Expr& expr,
         return false;
       }
       const Expr& cond = *expr.children()[0];
+      std::vector<uint8_t> cond_v;
+      if (EvalBoolVector(cond, selection, &cond_v)) {
+        for (size_t i = 0; i < selection.size(); ++i) {
+          (*out)[i] = cond_v[i] ? then_v[i] : else_v[i];
+        }
+        return true;
+      }
       Row row(data_.size());
       for (size_t i = 0; i < selection.size(); ++i) {
         for (size_t c = 0; c < data_.size(); ++c) {
@@ -364,6 +394,143 @@ bool ColumnIndex::EvalNumericVector(const Expr& expr,
   }
 }
 
+bool ColumnIndex::EvalBoolVector(const Expr& expr,
+                                 const std::vector<uint32_t>& selection,
+                                 std::vector<uint8_t>* out) const {
+  out->assign(selection.size(), 0);
+  switch (expr.kind()) {
+    case Expr::Kind::kCompare: {
+      const Expr& lhs = *expr.children()[0];
+      const Expr& rhs = *expr.children()[1];
+      CmpOp op = expr.cmp_op();
+      // String column vs literal compares directly on the string vector.
+      if (lhs.kind() == Expr::Kind::kColumn && lhs.column() >= 0 &&
+          size_t(lhs.column()) < data_.size() &&
+          data_[lhs.column()].type == ValueType::kString &&
+          rhs.kind() == Expr::Kind::kLiteral) {
+        const auto* lit = std::get_if<std::string>(&rhs.literal());
+        if (lit == nullptr) return false;
+        const ColumnVector& col = data_[lhs.column()];
+        for (size_t i = 0; i < selection.size(); ++i) {
+          uint32_t r = selection[i];
+          (*out)[i] = !col.nulls[r] && CmpScalar(op, col.strings[r], *lit);
+        }
+        return true;
+      }
+      std::vector<double> a, b;
+      if (!EvalNumericVector(lhs, selection, &a) ||
+          !EvalNumericVector(rhs, selection, &b)) {
+        return false;
+      }
+      // A NULL operand makes the comparison false (EvalBool semantics);
+      // the numeric vectors carry 0 for NULL slots, so check the flags.
+      std::vector<int> cols;
+      lhs.CollectColumns(&cols);
+      rhs.CollectColumns(&cols);
+      for (size_t i = 0; i < selection.size(); ++i) {
+        bool null = false;
+        for (int c : cols) {
+          if (data_[c].nulls[selection[i]]) {
+            null = true;
+            break;
+          }
+        }
+        (*out)[i] = !null && CmpScalar(op, a[i], b[i]);
+      }
+      return true;
+    }
+    case Expr::Kind::kLogic: {
+      std::vector<uint8_t> a, b;
+      switch (expr.logic_op()) {
+        case LogicOp::kAnd:
+          if (!EvalBoolVector(*expr.children()[0], selection, &a) ||
+              !EvalBoolVector(*expr.children()[1], selection, &b)) {
+            return false;
+          }
+          for (size_t i = 0; i < a.size(); ++i) (*out)[i] = a[i] && b[i];
+          return true;
+        case LogicOp::kOr:
+          if (!EvalBoolVector(*expr.children()[0], selection, &a) ||
+              !EvalBoolVector(*expr.children()[1], selection, &b)) {
+            return false;
+          }
+          for (size_t i = 0; i < a.size(); ++i) (*out)[i] = a[i] || b[i];
+          return true;
+        case LogicOp::kNot:
+          if (!EvalBoolVector(*expr.children()[0], selection, &a)) {
+            return false;
+          }
+          for (size_t i = 0; i < a.size(); ++i) (*out)[i] = !a[i];
+          return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+void ColumnIndex::HashAndFilterSelection(const std::vector<int>& key_cols,
+                                         const RuntimeFilter* rf,
+                                         std::vector<uint32_t>* selection,
+                                         std::vector<uint64_t>* hashes,
+                                         uint64_t* tested,
+                                         uint64_t* dropped) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> kept;
+  kept.reserve(selection->size());
+  std::vector<uint64_t> kept_hashes;
+  if (hashes != nullptr) kept_hashes.reserve(selection->size());
+  uint64_t n_tested = 0, n_dropped = 0;
+  const bool single_int =
+      key_cols.size() == 1 && data_[key_cols[0]].type == ValueType::kInt64;
+  if (single_int) {
+    const ColumnVector& col = data_[key_cols[0]];
+    for (uint32_t r : *selection) {
+      const bool null = col.nulls[r];
+      const uint64_t h =
+          HashCombine(kKeyHashSeed, null ? MixHash64(kHashTagNull)
+                                         : Int64CellHash(col.ints[r]));
+      if (rf != nullptr) {
+        ++n_tested;
+        // NULL keys skip the min/max bounds (they carry no int value).
+        const bool pass = null ? rf->TestHash(h) : rf->TestKey(col.ints[r], h);
+        if (!pass) {
+          ++n_dropped;
+          continue;
+        }
+      }
+      kept.push_back(r);
+      if (hashes != nullptr) kept_hashes.push_back(h);
+    }
+  } else {
+    for (uint32_t r : *selection) {
+      uint64_t h = kKeyHashSeed;
+      for (int c : key_cols) h = HashCombine(h, CellHash(data_[c].Get(r)));
+      if (rf != nullptr) {
+        ++n_tested;
+        if (!rf->TestHash(h)) {
+          ++n_dropped;
+          continue;
+        }
+      }
+      kept.push_back(r);
+      if (hashes != nullptr) kept_hashes.push_back(h);
+    }
+  }
+  selection->swap(kept);
+  if (hashes != nullptr) hashes->swap(kept_hashes);
+  if (tested != nullptr) *tested = n_tested;
+  if (dropped != nullptr) *dropped = n_dropped;
+}
+
+void ColumnIndex::FilterSelection(const RuntimeFilter& rf,
+                                  const std::vector<int>& key_cols,
+                                  std::vector<uint32_t>* selection,
+                                  uint64_t* tested, uint64_t* dropped) const {
+  HashAndFilterSelection(key_cols, &rf, selection, nullptr, tested, dropped);
+}
+
 ColumnAggOp::ColumnAggOp(const ColumnIndex* index, Timestamp snapshot_ts,
                          ExprPtr filter, std::vector<int> group_cols,
                          std::vector<AggSpec> aggs, AggMode mode)
@@ -374,11 +541,74 @@ ColumnAggOp::ColumnAggOp(const ColumnIndex* index, Timestamp snapshot_ts,
       aggs_(std::move(aggs)),
       mode_(mode) {}
 
+void ColumnAggOp::SetSemiJoin(OperatorPtr build, std::vector<int> build_keys,
+                              std::vector<int> probe_cols) {
+  semi_build_ = std::move(build);
+  semi_build_keys_ = std::move(build_keys);
+  semi_probe_cols_ = std::move(probe_cols);
+}
+
 Status ColumnAggOp::Open() {
   results_.clear();
   pos_ = 0;
   std::vector<uint32_t> selection;
   index_->BuildSelection(snapshot_ts_, filter_, &selection);
+
+  if (semi_build_ != nullptr) {
+    Status st = semi_build_->Open();
+    if (!st.ok()) return st;
+    std::vector<Row> build_rows;
+    Batch batch;
+    do {
+      st = semi_build_->Next(&batch);
+      if (!st.ok()) return st;
+      for (auto& row : batch.rows) build_rows.push_back(std::move(row));
+    } while (!batch.empty());
+    semi_build_->Close();
+
+    // Exact membership, never a bloom test: int64 set when the key shape
+    // allows, encoded-key set (HashJoinOp semantics) otherwise.
+    bool fast =
+        semi_probe_cols_.size() == 1 &&
+        index_->column(semi_probe_cols_[0]).type == ValueType::kInt64;
+    if (fast) {
+      for (const Row& row : build_rows) {
+        if (!std::holds_alternative<int64_t>(row[semi_build_keys_[0]])) {
+          fast = false;
+          break;
+        }
+      }
+    }
+    std::vector<uint32_t> kept;
+    kept.reserve(selection.size());
+    if (fast) {
+      std::unordered_set<int64_t> keys;
+      keys.reserve(build_rows.size() * 2);
+      for (const Row& row : build_rows) {
+        keys.insert(std::get<int64_t>(row[semi_build_keys_[0]]));
+      }
+      const ColumnVector& col = index_->column(semi_probe_cols_[0]);
+      for (uint32_t r : selection) {
+        if (!col.nulls[r] && keys.count(col.ints[r]) != 0) kept.push_back(r);
+      }
+    } else {
+      std::unordered_set<EncodedKey> keys;
+      EncodedKey key;
+      for (const Row& row : build_rows) {
+        key.clear();
+        for (int c : semi_build_keys_) EncodeValue(row[c], &key);
+        keys.insert(key);
+      }
+      for (uint32_t r : selection) {
+        key.clear();
+        for (int c : semi_probe_cols_) {
+          EncodeValue(index_->column(c).Get(r), &key);
+        }
+        if (keys.count(key) != 0) kept.push_back(r);
+      }
+    }
+    selection.swap(kept);
+  }
 
   // Group id per selected row.
   std::unordered_map<std::string, uint32_t> group_ids;
@@ -389,18 +619,42 @@ Status ColumnAggOp::Open() {
     group_values.push_back({});
     std::fill(row_group.begin(), row_group.end(), 0);
   } else {
+    bool int_groups = true;
+    for (int c : group_cols_) {
+      if (index_->column(c).type != ValueType::kInt64) {
+        int_groups = false;
+        break;
+      }
+    }
     EncodedKey key;
     for (size_t i = 0; i < selection.size(); ++i) {
       key.clear();
-      Row group;
-      group.reserve(group_cols_.size());
-      for (int c : group_cols_) {
-        group.push_back(index_->column(c).Get(selection[i]));
-        EncodeValue(group.back(), &key);
+      if (int_groups) {
+        // Packed 9 bytes per column (null flag + raw bits): injective for
+        // grouping and much cheaper than the memcomparable encoding.
+        for (int c : group_cols_) {
+          const ColumnVector& col = index_->column(c);
+          uint32_t r = selection[i];
+          bool null = col.nulls[r];
+          key.push_back(null ? '\1' : '\0');
+          int64_t v = null ? 0 : col.ints[r];
+          key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        }
+      } else {
+        for (int c : group_cols_) {
+          EncodeValue(index_->column(c).Get(selection[i]), &key);
+        }
       }
       auto [it, inserted] =
           group_ids.emplace(key, uint32_t(group_values.size()));
-      if (inserted) group_values.push_back(std::move(group));
+      if (inserted) {
+        Row group;
+        group.reserve(group_cols_.size());
+        for (int c : group_cols_) {
+          group.push_back(index_->column(c).Get(selection[i]));
+        }
+        group_values.push_back(std::move(group));
+      }
       row_group[i] = it->second;
     }
   }
@@ -494,25 +748,165 @@ ColumnScanOp::ColumnScanOp(const ColumnIndex* index, Timestamp snapshot_ts,
 
 Status ColumnScanOp::Open() {
   index_->BuildSelection(snapshot_ts_, filter_, &selection_);
+  if (rf_slot_ != nullptr && rf_slot_->filter != nullptr) {
+    // Map the slot's projected-output key positions back to index columns,
+    // then prune the selection before any row is materialized.
+    std::vector<int> key_cols;
+    key_cols.reserve(rf_slot_->key_cols.size());
+    for (int k : rf_slot_->key_cols) {
+      key_cols.push_back(projection_.empty() ? k : projection_[k]);
+    }
+    uint64_t tested = 0, dropped = 0;
+    index_->FilterSelection(*rf_slot_->filter, key_cols, &selection_, &tested,
+                            &dropped);
+    AddScanFilterStats(tested, dropped);
+  }
   pos_ = 0;
   return Status::Ok();
 }
 
 Status ColumnScanOp::Next(Batch* out) {
   out->rows.clear();
-  while (pos_ < selection_.size() && out->rows.size() < kExecBatchSize) {
-    Row full = index_->MaterializeRow(selection_[pos_++]);
-    if (projection_.empty()) {
-      out->rows.push_back(std::move(full));
-    } else {
-      Row proj;
-      proj.reserve(projection_.size());
-      for (int c : projection_) proj.push_back(full[c]);
-      out->rows.push_back(std::move(proj));
-    }
+  if (pos_ < selection_.size()) {
+    const size_t n = std::min(kExecBatchSize, selection_.size() - pos_);
+    out->rows.reserve(n);
+    index_->MaterializeBatch(selection_, pos_, n, projection_, &out->rows);
+    pos_ += n;
   }
   rows_produced_ += out->rows.size();
   return Status::Ok();
+}
+
+ColumnHashJoinOp::ColumnHashJoinOp(const ColumnIndex* index,
+                                   Timestamp snapshot_ts, ExprPtr probe_filter,
+                                   std::vector<int> projection,
+                                   std::vector<int> probe_keys,
+                                   OperatorPtr build,
+                                   std::vector<int> build_keys, JoinType type,
+                                   bool use_runtime_filter)
+    : index_(index),
+      snapshot_ts_(snapshot_ts),
+      probe_filter_(std::move(probe_filter)),
+      projection_(std::move(projection)),
+      probe_keys_(std::move(probe_keys)),
+      build_(std::move(build)),
+      build_keys_(std::move(build_keys)),
+      type_(type),
+      use_runtime_filter_(use_runtime_filter) {
+  probe_key_cols_.reserve(probe_keys_.size());
+  for (int k : probe_keys_) {
+    probe_key_cols_.push_back(projection_.empty() ? k : projection_[k]);
+  }
+}
+
+Status ColumnHashJoinOp::Open() {
+  if (type_ == JoinType::kLeftOuter) {
+    return Status::NotSupported("ColumnHashJoinOp: left outer join");
+  }
+  build_rows_.clear();
+  buckets_.clear();
+  pos_ = 0;
+
+  Status st = build_->Open();
+  if (!st.ok()) return st;
+  Batch batch;
+  do {
+    st = build_->Next(&batch);
+    if (!st.ok()) return st;
+    for (auto& row : batch.rows) build_rows_.push_back(std::move(row));
+  } while (!batch.empty());
+  build_->Close();
+
+  // Anti joins keep exactly the rows a filter would prune, so they never
+  // build one; inner/semi get the bloom + bounds summary for free from the
+  // same pass that fills the hash table.
+  const bool prune =
+      use_runtime_filter_ &&
+      (type_ == JoinType::kInner || type_ == JoinType::kLeftSemi);
+  RuntimeFilterBuilder rf_builder(build_rows_.size(), kKeyHashSeed);
+  buckets_.reserve(build_rows_.size());
+  for (uint32_t i = 0; i < build_rows_.size(); ++i) {
+    buckets_.emplace(RowKeyHash(build_rows_[i], build_keys_), i);
+    if (prune) rf_builder.AddKey(build_rows_[i], build_keys_);
+  }
+
+  index_->BuildSelection(snapshot_ts_, probe_filter_, &selection_);
+  std::shared_ptr<const RuntimeFilter> rf =
+      prune ? rf_builder.Finish() : nullptr;
+  uint64_t tested = 0, dropped = 0;
+  index_->HashAndFilterSelection(probe_key_cols_, rf.get(), &selection_,
+                                 &probe_hashes_, &tested, &dropped);
+  AddScanFilterStats(tested, dropped);
+  return Status::Ok();
+}
+
+bool ColumnHashJoinOp::ProbeMatchesBuild(uint32_t rowid,
+                                         const Row& build_row) const {
+  for (size_t k = 0; k < probe_key_cols_.size(); ++k) {
+    if (!CellEquals(index_->column(probe_key_cols_[k]).Get(rowid),
+                    build_row[build_keys_[k]])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status ColumnHashJoinOp::Next(Batch* out) {
+  out->rows.clear();
+  uint64_t probed = 0;
+  // Probe first, collecting only surviving row ids (plus the matched build
+  // row for inner joins); the survivors then materialize in one batched
+  // pass — one index lock and only the projected columns, instead of a
+  // full-width materialization per row. A batch may exceed kExecBatchSize
+  // by the duplicate matches of its last probe row (same tolerance as
+  // ValuesOp sources — downstream operators iterate rows, not batch
+  // slots).
+  hits_.clear();
+  hit_build_.clear();
+  while (pos_ < selection_.size() && hits_.size() < kExecBatchSize) {
+    const uint32_t rowid = selection_[pos_];
+    const uint64_t hash = probe_hashes_[pos_];
+    ++pos_;
+    ++probed;
+    auto [begin, end] = buckets_.equal_range(hash);
+    if (type_ == JoinType::kInner) {
+      for (auto it = begin; it != end; ++it) {
+        if (!ProbeMatchesBuild(rowid, build_rows_[it->second])) continue;
+        hits_.push_back(rowid);
+        hit_build_.push_back(it->second);
+      }
+    } else {
+      bool matched = false;
+      for (auto it = begin; it != end; ++it) {
+        if (ProbeMatchesBuild(rowid, build_rows_[it->second])) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched == (type_ == JoinType::kLeftSemi)) {
+        hits_.push_back(rowid);
+      }
+    }
+  }
+  out->rows.reserve(hits_.size());
+  index_->MaterializeBatch(hits_, 0, hits_.size(), projection_, &out->rows);
+  if (type_ == JoinType::kInner) {
+    for (size_t i = 0; i < hit_build_.size(); ++i) {
+      const Row& build_row = build_rows_[hit_build_[i]];
+      out->rows[i].insert(out->rows[i].end(), build_row.begin(),
+                          build_row.end());
+    }
+  }
+  AddJoinProbeRows(probed);
+  rows_produced_ += out->rows.size();
+  return Status::Ok();
+}
+
+void ColumnHashJoinOp::Close() {
+  build_rows_.clear();
+  buckets_.clear();
+  selection_.clear();
+  probe_hashes_.clear();
 }
 
 }  // namespace polarx

@@ -28,6 +28,7 @@
 #include "src/common/types.h"
 #include "src/exec/expr.h"
 #include "src/exec/operator.h"
+#include "src/exec/runtime_filter.h"
 #include "src/storage/redo.h"
 #include "src/storage/value.h"
 
@@ -87,6 +88,14 @@ class ColumnIndex {
   /// Materializes the indexed columns of row `rowid`.
   Row MaterializeRow(uint32_t rowid) const;
 
+  /// Materializes `cols` (empty = all indexed columns) of
+  /// selection[start, start + count) into `out`, taking the index lock
+  /// once for the whole batch instead of once per row and touching only
+  /// the requested column vectors.
+  void MaterializeBatch(const std::vector<uint32_t>& selection, size_t start,
+                        size_t count, const std::vector<int>& cols,
+                        std::vector<Row>* out) const;
+
   /// Sum of a numeric column over a selection (vectorized aggregate).
   double SumSelected(int col, const std::vector<uint32_t>& selection) const;
 
@@ -97,6 +106,31 @@ class ColumnIndex {
   bool EvalNumericVector(const Expr& expr,
                          const std::vector<uint32_t>& selection,
                          std::vector<double>* out) const;
+
+  /// Vectorized boolean evaluation over selected rows: comparisons whose
+  /// operands vectorize numerically, string column-vs-literal compares,
+  /// AND/OR/NOT. Returns false when the shape is unsupported (caller falls
+  /// back to row-at-a-time EvalBool).
+  bool EvalBoolVector(const Expr& expr,
+                      const std::vector<uint32_t>& selection,
+                      std::vector<uint8_t>* out) const;
+
+  /// Computes the join-key hash of every selected row (`key_cols` are
+  /// positions in the indexed column subset), vectorized over the typed
+  /// arrays. When `rf` is non-null, rows failing the filter are dropped,
+  /// compacting `selection` (and `hashes`, if non-null) in lockstep;
+  /// `tested`/`dropped` report the pruning for the ablation counters.
+  void HashAndFilterSelection(const std::vector<int>& key_cols,
+                              const RuntimeFilter* rf,
+                              std::vector<uint32_t>* selection,
+                              std::vector<uint64_t>* hashes,
+                              uint64_t* tested, uint64_t* dropped) const;
+
+  /// Applies a pushed-down runtime filter to `selection` in place.
+  void FilterSelection(const RuntimeFilter& rf,
+                       const std::vector<int>& key_cols,
+                       std::vector<uint32_t>* selection, uint64_t* tested,
+                       uint64_t* dropped) const;
 
   const ColumnVector& column(int i) const { return data_[i]; }
 
@@ -132,6 +166,16 @@ class ColumnAggOp : public Operator {
               ExprPtr filter, std::vector<int> group_cols,
               std::vector<AggSpec> aggs, AggMode mode = AggMode::kComplete);
 
+  /// Fuses a left-semi join into the selection phase: Open() drains
+  /// `build`, then keeps only selected rows whose key (`probe_cols` of the
+  /// index) appears among the build rows' `build_keys` — an exact match
+  /// (encoded-key semantics, like HashJoinOp), not a bloom test. The
+  /// aggregation then runs over the surviving selection without ever
+  /// materializing a probe row (the column store's semi-join + first-phase
+  /// aggregation pipeline, the Q21 shape).
+  void SetSemiJoin(OperatorPtr build, std::vector<int> build_keys,
+                   std::vector<int> probe_cols);
+
   Status Open() override;
   Status Next(Batch* out) override;
 
@@ -142,17 +186,25 @@ class ColumnAggOp : public Operator {
   std::vector<int> group_cols_;
   std::vector<AggSpec> aggs_;
   AggMode mode_;
+  OperatorPtr semi_build_;
+  std::vector<int> semi_build_keys_, semi_probe_cols_;
   std::vector<Row> results_;
   size_t pos_ = 0;
 };
 
 /// Scan operator over a column index at a snapshot: applies the (vectorized)
-/// filter and yields projected rows.
-class ColumnScanOp : public Operator {
+/// filter and yields projected rows. A pushed-down runtime filter prunes the
+/// selection vector before any row is materialized.
+class ColumnScanOp : public Operator, public RuntimeFilterTarget {
  public:
   /// `projection` indexes into the index's column subset (empty = all).
   ColumnScanOp(const ColumnIndex* index, Timestamp snapshot_ts,
                ExprPtr filter = nullptr, std::vector<int> projection = {});
+
+  /// Slot key columns refer to this scan's *projected* output positions.
+  void SetRuntimeFilter(std::shared_ptr<RuntimeFilterSlot> slot) override {
+    rf_slot_ = std::move(slot);
+  }
 
   Status Open() override;
   Status Next(Batch* out) override;
@@ -162,8 +214,62 @@ class ColumnScanOp : public Operator {
   Timestamp snapshot_ts_;
   ExprPtr filter_;
   std::vector<int> projection_;
+  std::shared_ptr<RuntimeFilterSlot> rf_slot_;
   std::vector<uint32_t> selection_;
   size_t pos_ = 0;
+};
+
+/// Vectorized hash join probing a column index natively (§VI-E, the column
+/// store's "built-in" hash join): the build child is consumed into a hash
+/// table keyed by 64-bit key hashes (exact key equality re-verified on each
+/// candidate, so hash collisions cannot fabricate matches), and the probe
+/// side runs over the index's selection vector — visibility + pushed-down
+/// filter + (for inner/semi joins) the build side's own runtime filter —
+/// in batches, materializing only the projected columns of surviving rows.
+/// Output layout matches HashJoinOp: projected probe columns, then build
+/// columns (inner joins); probe columns only (semi/anti).
+class ColumnHashJoinOp : public Operator {
+ public:
+  /// `projection` / `probe_keys` follow ColumnScanOp + HashJoinOp
+  /// composition: `projection` indexes the index's column subset (empty =
+  /// all), `probe_keys` are positions in the *projected* output row. When
+  /// `use_runtime_filter` is set (inner/semi only), the build side's bloom
+  /// + min/max bounds prune the probe selection before materialization.
+  ColumnHashJoinOp(const ColumnIndex* index, Timestamp snapshot_ts,
+                   ExprPtr probe_filter, std::vector<int> projection,
+                   std::vector<int> probe_keys, OperatorPtr build,
+                   std::vector<int> build_keys,
+                   JoinType type = JoinType::kInner,
+                   bool use_runtime_filter = true);
+
+  Status Open() override;
+  Status Next(Batch* out) override;
+  void Close() override;
+
+  size_t build_rows() const { return build_rows_.size(); }
+
+ private:
+  bool ProbeMatchesBuild(uint32_t rowid, const Row& build_row) const;
+
+  const ColumnIndex* index_;
+  Timestamp snapshot_ts_;
+  ExprPtr probe_filter_;
+  std::vector<int> projection_;
+  std::vector<int> probe_keys_;      // positions in projected output
+  std::vector<int> probe_key_cols_;  // same keys as index column positions
+  OperatorPtr build_;
+  std::vector<int> build_keys_;
+  JoinType type_;
+  bool use_runtime_filter_;
+  std::vector<Row> build_rows_;
+  std::unordered_multimap<uint64_t, uint32_t> buckets_;
+  std::vector<uint32_t> selection_;
+  std::vector<uint64_t> probe_hashes_;
+  size_t pos_ = 0;
+  // Per-batch scratch: surviving probe row ids and (inner joins) the
+  // matched build-row index for each survivor.
+  std::vector<uint32_t> hits_;
+  std::vector<uint32_t> hit_build_;
 };
 
 }  // namespace polarx

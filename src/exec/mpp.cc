@@ -45,6 +45,7 @@ Result<std::vector<Row>> MppExecutor::RunPartialFinal(
     const std::function<OperatorPtr(OperatorPtr gathered)>& merge_factory) {
   POLARX_ASSIGN_OR_RETURN(std::vector<Row> partials,
                           RunParallel(num_tasks, partial_factory));
+  last_gathered_rows_ = partials.size();
   OperatorPtr merge =
       merge_factory(std::make_unique<ValuesOp>(std::move(partials)));
   return Collect(merge.get());

@@ -33,9 +33,19 @@ class MppExecutor {
 
   /// Convenience: parallel partial fragments + a final merge operator built
   /// over the gathered partials by `merge_factory`.
+  ///
+  /// Runtime filters live *inside* a fragment plan: the factory wires a
+  /// RuntimeFilterSlot between a fragment's join and its probe scan, so the
+  /// filter's lifetime is the fragment's and nothing crosses task
+  /// boundaries. Pruning therefore shrinks the per-task partials gathered
+  /// here (see last_gathered_rows()), not just join-local work.
   Result<std::vector<Row>> RunPartialFinal(
       int num_tasks, const FragmentFactory& partial_factory,
       const std::function<OperatorPtr(OperatorPtr gathered)>& merge_factory);
+
+  /// Rows gathered from partial fragments into the most recent
+  /// RunPartialFinal merge (the "shuffled into the coordinator" count).
+  uint64_t last_gathered_rows() const { return last_gathered_rows_; }
 
   /// Splits `shards` into the subset owned by `task` (round-robin), the
   /// standard data-locality assignment for scan fragments.
@@ -44,6 +54,7 @@ class MppExecutor {
 
  private:
   ThreadPool* pool_;
+  uint64_t last_gathered_rows_ = 0;
 };
 
 }  // namespace polarx

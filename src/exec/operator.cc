@@ -56,6 +56,9 @@ Status TableScanOp::Open() {
 
 Status TableScanOp::Next(Batch* out) {
   out->rows.clear();
+  const RuntimeFilter* rf =
+      rf_slot_ != nullptr ? rf_slot_->filter.get() : nullptr;
+  uint64_t rf_tested = 0, rf_dropped = 0;
   while (shard_index_ < shards_.size() && out->rows.size() < kExecBatchSize) {
     TableStore* shard = shards_[shard_index_];
     EncodedKey last;
@@ -67,7 +70,15 @@ Status TableScanOp::Next(Batch* out) {
           const Version* v = LatestVisible(head, snapshot_ts_);
           if (v != nullptr && !v->deleted) {
             if (filter_ == nullptr || filter_->EvalBool(v->row)) {
-              out->rows.push_back(ProjectRow(v->row, projection_));
+              Row projected = ProjectRow(v->row, projection_);
+              if (rf != nullptr) {
+                ++rf_tested;
+                if (!rf->TestRow(projected, rf_slot_->key_cols)) {
+                  ++rf_dropped;
+                  return true;
+                }
+              }
+              out->rows.push_back(std::move(projected));
             }
           }
           return out->rows.size() < kExecBatchSize;
@@ -88,6 +99,7 @@ Status TableScanOp::Next(Batch* out) {
     ++shard_index_;
     cursor_ = range_from_;
   }
+  AddScanFilterStats(rf_tested, rf_dropped);
   rows_produced_ += out->rows.size();
   return Status::Ok();
 }
@@ -130,8 +142,10 @@ Status IndexScanOp::Next(Batch* out) {
 
 Status ValuesOp::Next(Batch* out) {
   out->rows.clear();
+  // Rows move out rather than copy: the operator contract is Open() once,
+  // so the source is never re-read after a full drain.
   while (pos_ < source_.size() && out->rows.size() < kExecBatchSize) {
-    out->rows.push_back(source_[pos_++]);
+    out->rows.push_back(std::move(source_[pos_++]));
   }
   rows_produced_ += out->rows.size();
   return Status::Ok();
@@ -190,21 +204,35 @@ std::string HashJoinOp::KeyOf(const Row& row,
 
 Status HashJoinOp::Open() {
   POLARX_RETURN_NOT_OK(build_->Open());
+  // Runtime filters never attach to anti/outer probes: a pruned probe row
+  // would (wrongly) surface as "no match" output there.
+  bool emit_rf = rf_slot_ != nullptr &&
+                 (type_ == JoinType::kInner || type_ == JoinType::kLeftSemi);
+  std::unique_ptr<RuntimeFilterBuilder> rf_builder;
+  if (emit_rf) {
+    rf_builder = std::make_unique<RuntimeFilterBuilder>(rf_expected_keys_,
+                                                        kKeyHashSeed);
+  }
   Batch batch;
   for (;;) {
     POLARX_RETURN_NOT_OK(build_->Next(&batch));
     if (batch.empty()) break;
     for (auto& row : batch.rows) {
+      if (rf_builder != nullptr) rf_builder->AddKey(row, build_keys_);
       table_.emplace(KeyOf(row, build_keys_), std::move(row));
       ++build_size_;
     }
   }
   build_->Close();
+  // Publish before opening the probe: the probe-side scan reads the slot
+  // at its own Open()/Next(), strictly after this point.
+  if (rf_builder != nullptr) rf_slot_->filter = rf_builder->Finish();
   return probe_->Open();
 }
 
 Status HashJoinOp::Next(Batch* out) {
   out->rows.clear();
+  uint64_t probed = 0;
   while (out->rows.size() < kExecBatchSize) {
     if (probe_pos_ >= pending_probe_.rows.size()) {
       POLARX_RETURN_NOT_OK(probe_->Next(&pending_probe_));
@@ -212,6 +240,7 @@ Status HashJoinOp::Next(Batch* out) {
       if (pending_probe_.empty()) break;
     }
     const Row& probe_row = pending_probe_.rows[probe_pos_++];
+    ++probed;
     std::string key = KeyOf(probe_row, probe_keys_);
     auto [begin, end] = table_.equal_range(key);
     switch (type_) {
@@ -248,6 +277,7 @@ Status HashJoinOp::Next(Batch* out) {
         break;
     }
   }
+  AddJoinProbeRows(probed);
   rows_produced_ += out->rows.size();
   return Status::Ok();
 }
@@ -337,29 +367,106 @@ Status HashAggOp::Open() {
   POLARX_RETURN_NOT_OK(child_->Open());
   consumed_ = false;
   groups_.clear();
+  fast_vals_.clear();
+  fast_nulls_.clear();
+  fast_states_.clear();
+  fast_slots_.clear();
+  fast_group_count_ = 0;
   results_.clear();
   out_pos_ = 0;
   return Status::Ok();
 }
 
+uint64_t HashAggOp::FastHash(const uint64_t* vals, uint64_t nulls) const {
+  uint64_t h = MixHash64(kKeyHashSeed ^ nulls);
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    h = HashCombine(h, MixHash64(vals[i]));
+  }
+  return h;
+}
+
+void HashAggOp::FastRehash() {
+  std::vector<uint32_t> grown(fast_slots_.size() * 2, 0);
+  const size_t mask = grown.size() - 1;
+  const size_t n = group_by_.size();
+  for (size_t idx = 0; idx < fast_group_count_; ++idx) {
+    size_t pos =
+        size_t(FastHash(fast_vals_.data() + idx * n, fast_nulls_[idx])) & mask;
+    while (grown[pos] != 0) pos = (pos + 1) & mask;
+    grown[pos] = uint32_t(idx) + 1;
+  }
+  fast_slots_ = std::move(grown);
+}
+
+HashAggOp::AggState* HashAggOp::FastFindOrInsert(const uint64_t* vals,
+                                                 uint64_t nulls) {
+  if (fast_slots_.empty()) fast_slots_.assign(1024, 0);
+  const size_t n = group_by_.size();
+  const size_t mask = fast_slots_.size() - 1;
+  size_t pos = size_t(FastHash(vals, nulls)) & mask;
+  for (;;) {
+    const uint32_t slot = fast_slots_[pos];
+    if (slot == 0) {
+      const size_t idx = fast_group_count_++;
+      fast_vals_.insert(fast_vals_.end(), vals, vals + n);
+      fast_nulls_.push_back(nulls);
+      fast_states_.resize(fast_states_.size() + aggs_.size());
+      fast_slots_[pos] = uint32_t(idx) + 1;
+      // Keep load under 70%; the returned pointer is recomputed after any
+      // arena growth so it stays valid for the caller's fold.
+      if (fast_group_count_ * 10 >= fast_slots_.size() * 7) FastRehash();
+      return fast_states_.data() + idx * aggs_.size();
+    }
+    const size_t idx = slot - 1;
+    if (fast_nulls_[idx] == nulls &&
+        std::equal(vals, vals + n, fast_vals_.data() + idx * n)) {
+      return fast_states_.data() + idx * aggs_.size();
+    }
+    pos = (pos + 1) & mask;
+  }
+}
+
+HashAggOp::AggState* HashAggOp::TryFastStates(const Value* group, size_t n) {
+  if (n > kFastMaxGroupCols) return nullptr;
+  uint64_t vals[kFastMaxGroupCols] = {0, 0, 0, 0};
+  uint64_t nulls = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (const auto* k = std::get_if<int64_t>(&group[i])) {
+      vals[i] = static_cast<uint64_t>(*k);
+    } else if (IsNull(group[i])) {
+      nulls |= uint64_t{1} << i;
+    } else {
+      return nullptr;
+    }
+  }
+  return FastFindOrInsert(vals, nulls);
+}
+
 void HashAggOp::Accumulate(const Row& row) {
-  Row group;
-  group.reserve(group_by_.size());
-  EncodedKey key;
-  for (const auto& g : group_by_) {
-    group.push_back(g->Eval(row));
-    EncodeValue(group.back(), &key);
+  group_buf_.clear();
+  group_buf_.reserve(group_by_.size());
+  for (const auto& g : group_by_) group_buf_.push_back(g->Eval(row));
+  AggState* states = TryFastStates(group_buf_.data(), group_buf_.size());
+  if (states == nullptr) {
+    key_buf_.clear();
+    for (const auto& v : group_buf_) EncodeValue(v, &key_buf_);
+    auto it = groups_.find(key_buf_);
+    if (it == groups_.end()) {
+      it = groups_
+               .emplace(key_buf_,
+                        std::make_pair(std::move(group_buf_),
+                                       std::vector<AggState>(aggs_.size())))
+               .first;
+      group_buf_.clear();
+    }
+    states = it->second.second.data();
   }
-  auto it = groups_.find(key);
-  if (it == groups_.end()) {
-    it = groups_
-             .emplace(std::move(key),
-                      std::make_pair(std::move(group),
-                                     std::vector<AggState>(aggs_.size())))
-             .first;
-  }
+  Fold(row, states);
+}
+
+void HashAggOp::Fold(const Row& row, AggState* states) {
   for (size_t i = 0; i < aggs_.size(); ++i) {
-    AggState& st = it->second.second[i];
+    AggState& st = states[i];
     const AggSpec& spec = aggs_[i];
     if (spec.op == AggOp::kCount && spec.expr == nullptr) {
       ++st.count;
@@ -395,20 +502,30 @@ void HashAggOp::Accumulate(const Row& row) {
 void HashAggOp::MergeState(const Row& row) {
   // Input layout: group columns, then states (sum,count per avg; single
   // column otherwise) in agg order.
-  Row group(row.begin(), row.begin() + group_by_.size());
-  EncodedKey key;
-  for (const auto& v : group) EncodeValue(v, &key);
-  auto it = groups_.find(key);
-  if (it == groups_.end()) {
-    it = groups_
-             .emplace(std::move(key),
-                      std::make_pair(std::move(group),
-                                     std::vector<AggState>(aggs_.size())))
-             .first;
+  AggState* states = TryFastStates(row.data(), group_by_.size());
+  if (states == nullptr) {
+    key_buf_.clear();
+    for (size_t i = 0; i < group_by_.size(); ++i) {
+      EncodeValue(row[i], &key_buf_);
+    }
+    auto it = groups_.find(key_buf_);
+    if (it == groups_.end()) {
+      it = groups_
+               .emplace(key_buf_,
+                        std::make_pair(
+                            Row(row.begin(), row.begin() + group_by_.size()),
+                            std::vector<AggState>(aggs_.size())))
+               .first;
+    }
+    states = it->second.second.data();
   }
+  FoldMerged(row, states);
+}
+
+void HashAggOp::FoldMerged(const Row& row, AggState* states) {
   size_t col = group_by_.size();
   for (size_t i = 0; i < aggs_.size(); ++i) {
-    AggState& st = it->second.second[i];
+    AggState& st = states[i];
     switch (aggs_[i].op) {
       case AggOp::kCount:
         st.count += ValueAsInt(row[col]).ValueOr(0);
@@ -444,8 +561,7 @@ void HashAggOp::MergeState(const Row& row) {
   }
 }
 
-Row HashAggOp::Finalize(const Row& group, std::vector<AggState>& states)
-    const {
+Row HashAggOp::Finalize(const Row& group, AggState* states) const {
   Row out = group;
   for (size_t i = 0; i < aggs_.size(); ++i) {
     AggState& st = states[i];
@@ -507,14 +623,33 @@ Status HashAggOp::Next(Batch* out) {
       }
     }
     // Global aggregation (no GROUP BY) yields one row even on empty input.
-    if (groups_.empty() && group_by_.empty()) {
+    if (groups_.empty() && fast_group_count_ == 0 && group_by_.empty()) {
       std::vector<AggState> states(aggs_.size());
-      results_.push_back(Finalize({}, states));
+      results_.push_back(Finalize({}, states.data()));
+    }
+    Row group;
+    for (size_t idx = 0; idx < fast_group_count_; ++idx) {
+      group.clear();
+      for (size_t c = 0; c < group_by_.size(); ++c) {
+        if ((fast_nulls_[idx] >> c) & 1) {
+          group.push_back(Value{});
+        } else {
+          group.push_back(
+              static_cast<int64_t>(fast_vals_[idx * group_by_.size() + c]));
+        }
+      }
+      results_.push_back(
+          Finalize(group, fast_states_.data() + idx * aggs_.size()));
     }
     for (auto& [key, entry] : groups_) {
-      results_.push_back(Finalize(entry.first, entry.second));
+      results_.push_back(Finalize(entry.first, entry.second.data()));
     }
     groups_.clear();
+    fast_vals_.clear();
+    fast_nulls_.clear();
+    fast_states_.clear();
+    fast_slots_.clear();
+    fast_group_count_ = 0;
     consumed_ = true;
   }
   while (out_pos_ < results_.size() && out->rows.size() < kExecBatchSize) {

@@ -11,6 +11,7 @@
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/exec/expr.h"
+#include "src/exec/runtime_filter.h"
 #include "src/storage/key_codec.h"
 #include "src/storage/table.h"
 
@@ -46,7 +47,7 @@ using OperatorPtr = std::unique_ptr<Operator>;
 /// Scans the committed-visible rows of one or more table shards at a
 /// snapshot, with optional pushed-down filter and projection (§VI-B
 /// operator push-down: the filter runs "inside the scan").
-class TableScanOp : public Operator {
+class TableScanOp : public Operator, public RuntimeFilterTarget {
  public:
   TableScanOp(std::vector<TableStore*> shards, Timestamp snapshot_ts,
               ExprPtr filter = nullptr, std::vector<int> projection = {});
@@ -58,6 +59,13 @@ class TableScanOp : public Operator {
     range_to_ = std::move(to);
   }
 
+  /// Attaches a runtime-filter slot: projected output rows are tested
+  /// against the join build side's filter (once the join publishes it) and
+  /// dropped at the scan instead of flowing to the join.
+  void SetRuntimeFilter(std::shared_ptr<RuntimeFilterSlot> slot) override {
+    rf_slot_ = std::move(slot);
+  }
+
   Status Open() override;
   Status Next(Batch* out) override;
 
@@ -66,6 +74,7 @@ class TableScanOp : public Operator {
   Timestamp snapshot_ts_;
   ExprPtr filter_;
   std::vector<int> projection_;
+  std::shared_ptr<RuntimeFilterSlot> rf_slot_;
   EncodedKey range_from_, range_to_;
   size_t shard_index_ = 0;
   EncodedKey cursor_;
@@ -145,6 +154,17 @@ class HashJoinOp : public Operator {
              std::vector<int> probe_keys, std::vector<int> build_keys,
              JoinType type = JoinType::kInner, size_t build_width = 0);
 
+  /// Makes this join the source of a runtime filter: Open() feeds every
+  /// build-side key into a bloom + bounds summary and publishes it on
+  /// `slot` before opening the probe child (so a scan holding the same
+  /// slot prunes from its first batch). Only inner/semi joins publish —
+  /// pruning the probe of an anti/outer join would drop output rows.
+  void SetRuntimeFilterSource(std::shared_ptr<RuntimeFilterSlot> slot,
+                              size_t expected_build_keys) {
+    rf_slot_ = std::move(slot);
+    rf_expected_keys_ = expected_build_keys;
+  }
+
   Status Open() override;
   Status Next(Batch* out) override;
   void Close() override;
@@ -158,6 +178,8 @@ class HashJoinOp : public Operator {
   std::vector<int> probe_keys_, build_keys_;
   JoinType type_;
   size_t build_width_;
+  std::shared_ptr<RuntimeFilterSlot> rf_slot_;
+  size_t rf_expected_keys_ = 0;
   std::unordered_multimap<std::string, Row> table_;
   size_t build_size_ = 0;
   // carry-over state when one probe row matches many build rows
@@ -247,7 +269,21 @@ class HashAggOp : public Operator {
 
   void Accumulate(const Row& row);
   void MergeState(const Row& row);
-  Row Finalize(const Row& group, std::vector<AggState>& states) const;
+  void Fold(const Row& row, AggState* states);
+  void FoldMerged(const Row& row, AggState* states);
+  Row Finalize(const Row& group, AggState* states) const;
+
+  // Allocation-free path for groups whose key values are all int64/NULL
+  // (the dominant shape of kFinal merges and FK-grouped partials): keys
+  // live packed in an arena indexed by an open-addressed slot table, so
+  // neither lookups nor inserts allocate per row. Groups with any other
+  // value type fall back to the encoded-string map below; the two paths
+  // can never hold the same group because group equality is type-strict.
+  AggState* TryFastStates(const Value* group, size_t n);
+  AggState* FastFindOrInsert(const uint64_t* vals, uint64_t nulls);
+  uint64_t FastHash(const uint64_t* vals, uint64_t nulls) const;
+  void FastRehash();
+  static constexpr size_t kFastMaxGroupCols = 4;
 
   OperatorPtr child_;
   std::vector<ExprPtr> group_by_;
@@ -255,6 +291,15 @@ class HashAggOp : public Operator {
   AggMode mode_;
   std::unordered_map<std::string, std::pair<Row, std::vector<AggState>>>
       groups_;
+  std::vector<uint64_t> fast_vals_;    // group_by_.size() words per group
+  std::vector<uint64_t> fast_nulls_;   // one NULL bitmask per group
+  std::vector<AggState> fast_states_;  // aggs_.size() states per group
+  std::vector<uint32_t> fast_slots_;   // open addressing; 0 empty, idx + 1
+  size_t fast_group_count_ = 0;
+  // Reused per input row so existing groups are found without allocating a
+  // key string or a group Row.
+  EncodedKey key_buf_;
+  Row group_buf_;
   bool consumed_ = false;
   std::vector<Row> results_;
   size_t out_pos_ = 0;

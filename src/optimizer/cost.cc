@@ -60,6 +60,18 @@ bool CostModel::ShouldPushDown(double input_rows, double output_rows) const {
   return saved_network > extra_storage_cpu;
 }
 
+bool CostModel::ShouldAttachRuntimeFilter(double build_rows,
+                                          double build_base_rows,
+                                          double probe_rows) const {
+  if (probe_rows < options_.rf_min_probe_rows) return false;
+  if (build_rows > probe_rows * options_.rf_max_build_ratio) return false;
+  if (build_base_rows > 0 &&
+      build_rows > build_base_rows * options_.rf_max_build_selectivity) {
+    return false;
+  }
+  return true;
+}
+
 QueryProfile ScanProfile(const TableStats& stats, double selectivity,
                          bool via_index) {
   QueryProfile p;

@@ -57,6 +57,14 @@ struct CostModelOptions {
   double agg_cpu_factor = 1.5;
   /// Empirical TP/AP threshold on total cost (§VI-B).
   double ap_threshold = 10000.0;
+  // Runtime-filter attachment thresholds (DESIGN.md §9): probe sides below
+  // rf_min_probe_rows aren't worth the per-row bloom test; build sides
+  // larger than rf_max_build_ratio × probe rows summarize too little; and a
+  // build side keeping more than rf_max_build_selectivity of its base table
+  // (an unfiltered PK/FK build) prunes almost nothing.
+  double rf_min_probe_rows = 1024;
+  double rf_max_build_ratio = 0.2;
+  double rf_max_build_selectivity = 0.5;
 };
 
 class CostModel {
@@ -79,6 +87,15 @@ class CostModel {
   /// Whether an operator (filter/join/agg) should be pushed down to the
   /// storage node: beneficial when it reduces rows crossing the network.
   bool ShouldPushDown(double input_rows, double output_rows) const;
+
+  /// Whether a hash join should publish its build side as a runtime filter
+  /// into the probe scan. `build_rows` is the estimated build cardinality
+  /// after its own filters, `build_base_rows` the build table's base row
+  /// count (<= 0 when unknown), `probe_rows` the probe scan's estimated
+  /// output. Attaching is cheap but not free, so all three thresholds in
+  /// CostModelOptions must agree.
+  bool ShouldAttachRuntimeFilter(double build_rows, double build_base_rows,
+                                 double probe_rows) const;
 
   const CostModelOptions& options() const { return options_; }
 

@@ -119,6 +119,13 @@ struct ScanOptions {
   int num_tasks = 1;   // 1 = single-node execution
   /// Use the in-memory column index for tables that have one.
   bool use_column_index = false;
+  /// Probe hash joins directly against the column index (ColumnHashJoinOp)
+  /// where the plan shape allows it; off falls back to ColumnScanOp +
+  /// HashJoinOp. Only applies when use_column_index is set.
+  bool column_join = true;
+  /// Publish join build sides as bloom/min-max runtime filters into probe
+  /// scans (DESIGN.md §9). Never changes results, only intermediate sizes.
+  bool runtime_filters = true;
 };
 
 /// One TPC-H query: a fragment factory (per MPP task) plus a merge stage
@@ -134,12 +141,20 @@ struct TpchPlan {
 /// Builds the plan for query `q` in [1, 22] at `snapshot`.
 TpchPlan BuildQuery(int q, const TpchDb& db, Timestamp snapshot);
 
-/// Executes query `q` single-node; returns result rows.
+/// Executes query `q` single-node; returns result rows. `base_options`
+/// carries the store/join/filter knobs (task fields are overridden).
+Result<std::vector<Row>> RunQuerySingleNode(int q, const TpchDb& db,
+                                            Timestamp snapshot,
+                                            const ScanOptions& base_options);
 Result<std::vector<Row>> RunQuerySingleNode(int q, const TpchDb& db,
                                             Timestamp snapshot,
                                             bool use_column_index = false);
 
 /// Executes query `q` with `num_tasks`-way MPP over `pool`.
+Result<std::vector<Row>> RunQueryMpp(int q, const TpchDb& db,
+                                     Timestamp snapshot, int num_tasks,
+                                     ThreadPool* pool,
+                                     const ScanOptions& base_options);
 Result<std::vector<Row>> RunQueryMpp(int q, const TpchDb& db,
                                      Timestamp snapshot, int num_tasks,
                                      ThreadPool* pool,

@@ -7,6 +7,7 @@
 // SubplanOp). Single-node execution is fragment({0,1}) | merge.
 #include <cassert>
 
+#include "src/optimizer/cost.h"
 #include "src/workload/tpch.h"
 
 namespace polarx::tpch {
@@ -14,6 +15,13 @@ namespace polarx::tpch {
 namespace {
 
 using E = Expr;
+
+/// Shared cost model for plan-construction decisions (runtime-filter
+/// attachment); default thresholds, no per-query tuning.
+const CostModel& PlanCostModel() {
+  static const CostModel model;
+  return model;
+}
 
 /// Shared plan-construction context.
 struct QB {
@@ -60,6 +68,59 @@ struct QB {
     return std::make_unique<HashAggOp>(std::move(scan),
                                        std::move(group_exprs),
                                        std::move(aggs), mode);
+  }
+
+  /// Hash join whose probe side is a partitioned scan of `t` — the
+  /// fragment shape of every big TPC-H lineitem join. Two optimizations
+  /// hang off this helper:
+  ///  - column-native join: with a column index available (and a
+  ///    single-task plan), the probe runs as ColumnHashJoinOp over the
+  ///    index's selection vector instead of ColumnScanOp + HashJoinOp;
+  ///  - runtime filter: when the cost model approves
+  ///    (ShouldAttachRuntimeFilter on the build estimates vs the probe
+  ///    table size), the join's build side is published as a bloom+bounds
+  ///    filter into the probe scan through a shared RuntimeFilterSlot.
+  /// `probe_keys` index the projected scan output; `build_rows_est` is the
+  /// build side's estimated cardinality after its own filters and
+  /// `build_base_rows` its base-table row count (0 when unknown).
+  OperatorPtr ScanJoin(Table t, const ScanOptions& o, ExprPtr scan_filter,
+                       std::vector<int> proj, std::vector<int> probe_keys,
+                       OperatorPtr build, std::vector<int> build_keys,
+                       JoinType type, double build_rows_est,
+                       double build_base_rows) const {
+    double probe_rows_est = double(db->row_count(t)) / o.num_tasks;
+    const bool attach =
+        o.runtime_filters &&
+        (type == JoinType::kInner || type == JoinType::kLeftSemi) &&
+        PlanCostModel().ShouldAttachRuntimeFilter(
+            build_rows_est, build_base_rows, probe_rows_est);
+    if (o.use_column_index && o.num_tasks == 1 && o.column_join &&
+        db->column_index(t) != nullptr && type != JoinType::kLeftOuter) {
+      return std::make_unique<ColumnHashJoinOp>(
+          db->column_index(t), snap, std::move(scan_filter), std::move(proj),
+          std::move(probe_keys), std::move(build), std::move(build_keys),
+          type, attach);
+    }
+    auto scan = Scan(t, o, /*partition=*/true, std::move(scan_filter),
+                     std::move(proj));
+    std::shared_ptr<RuntimeFilterSlot> slot;
+    if (attach) {
+      slot = std::make_shared<RuntimeFilterSlot>();
+      slot->key_cols = probe_keys;
+      if (auto* target = dynamic_cast<RuntimeFilterTarget*>(scan.get())) {
+        target->SetRuntimeFilter(slot);
+      } else {
+        slot = nullptr;  // scan type can't apply filters; skip publishing
+      }
+    }
+    auto join = std::make_unique<HashJoinOp>(
+        std::move(scan), std::move(build), std::move(probe_keys),
+        std::move(build_keys), type);
+    if (slot != nullptr) {
+      join->SetRuntimeFilterSource(std::move(slot),
+                                   size_t(build_rows_est) + 16);
+    }
+    return join;
   }
 };
 
@@ -285,12 +346,15 @@ TpchPlan Q3(const QB& qb) {
                            col::o_orderdate, col::o_shippriority});
     // oc: ok0 ck1 odate2 prio3 cck4
     auto oc = Join(std::move(orders), std::move(cust), {1}, {0});
-    auto line = qb.Scan(kLineItem, o, true,
-                        E::ColCmp(CmpOp::kGt, col::l_shipdate, date),
-                        {col::l_orderkey, col::l_extendedprice,
-                         col::l_discount});
     // j: lok0 ext1 disc2 ok3 ck4 odate5 prio6 cck7
-    auto j = Join(std::move(line), std::move(oc), {0}, {0});
+    // build = BUILDING customers' pre-date orders (~1/5 segment x ~48%).
+    auto j = qb.ScanJoin(kLineItem, o,
+                         E::ColCmp(CmpOp::kGt, col::l_shipdate, date),
+                         {col::l_orderkey, col::l_extendedprice,
+                          col::l_discount},
+                         {0}, std::move(oc), {0}, JoinType::kInner,
+                         double(qb.db->row_count(kOrders)) * 0.096,
+                         double(qb.db->row_count(kOrders)));
     return Agg(std::move(j), {E::Col(0), E::Col(5), E::Col(6)}, aggs,
                AggMode::kPartial);
   };
@@ -354,11 +418,14 @@ TpchPlan Q5(const QB& qb) {
                         {col::c_custkey, col::c_nationkey});
     // oc: ok0 ck1 cck2 cnk3
     auto oc = Join(std::move(orders), std::move(cust), {1}, {0});
-    auto line = qb.Scan(kLineItem, o, true, nullptr,
-                        {col::l_orderkey, col::l_suppkey,
-                         col::l_extendedprice, col::l_discount});
     // j: lok0 lsk1 ext2 disc3 ok4 ck5 cck6 cnk7
-    auto j = Join(std::move(line), std::move(oc), {0}, {0});
+    // build = one year of orders (~1/7 of the date range).
+    auto j = qb.ScanJoin(kLineItem, o, nullptr,
+                         {col::l_orderkey, col::l_suppkey,
+                          col::l_extendedprice, col::l_discount},
+                         {0}, std::move(oc), {0}, JoinType::kInner,
+                         double(qb.db->row_count(kOrders)) / 7.0,
+                         double(qb.db->row_count(kOrders)));
     auto supp = qb.Scan(kSupplier, o, false, nullptr,
                         {col::s_suppkey, col::s_nationkey});
     // j2: + ssk8 snk9 ; join requires s_nationkey == c_nationkey
@@ -421,13 +488,16 @@ TpchPlan Q7(const QB& qb) {
     auto ocn = Join(qb.Scan(kOrders, o, false, nullptr,
                             {col::o_orderkey, col::o_custkey}),
                     std::move(cn), {1}, {0});
-    auto line = qb.Scan(
-        kLineItem, o, true,
+    // j: lok0 lsk1 ext2 disc3 sdate4 + ocn 5..10 (cnname at 10)
+    // build = orders of FRANCE/GERMANY customers (2/25 nations).
+    auto j = qb.ScanJoin(
+        kLineItem, o,
         E::Between(col::l_shipdate, Days(1995, 1, 1), Days(1996, 12, 31)),
         {col::l_orderkey, col::l_suppkey, col::l_extendedprice,
-         col::l_discount, col::l_shipdate});
-    // j: lok0 lsk1 ext2 disc3 sdate4 + ocn 5..10 (cnname at 10)
-    auto j = Join(std::move(line), std::move(ocn), {0}, {0});
+         col::l_discount, col::l_shipdate},
+        {0}, std::move(ocn), {0}, JoinType::kInner,
+        double(qb.db->row_count(kOrders)) * 0.08,
+        double(qb.db->row_count(kOrders)));
     // j2: + sn 11..14 (snname at 14)
     auto j2 = Join(std::move(j), std::move(sn), {1}, {0});
     auto cross = Filter(
@@ -462,11 +532,15 @@ TpchPlan Q8(const QB& qb) {
                         E::ColCmp(CmpOp::kEq, col::p_type,
                                   S("ECONOMY ANODIZED STEEL")),
                         {col::p_partkey});
-    auto line = qb.Scan(kLineItem, o, true, nullptr,
-                        {col::l_orderkey, col::l_partkey, col::l_suppkey,
-                         col::l_extendedprice, col::l_discount});
     // lp: lok0 lpk1 lsk2 ext3 disc4 ppk5
-    auto lp = Join(std::move(line), std::move(part), {1}, {0});
+    // build = one of 150 part types: the textbook runtime-filter join
+    // (~0.7% of lineitems survive the partkey filter).
+    auto lp = qb.ScanJoin(kLineItem, o, nullptr,
+                          {col::l_orderkey, col::l_partkey, col::l_suppkey,
+                           col::l_extendedprice, col::l_discount},
+                          {1}, std::move(part), {0}, JoinType::kInner,
+                          double(qb.db->row_count(kPart)) / 150.0,
+                          double(qb.db->row_count(kPart)));
     auto orders = qb.Scan(
         kOrders, o, false,
         E::Between(col::o_orderdate, Days(1995, 1, 1), Days(1996, 12, 31)),
@@ -527,12 +601,15 @@ TpchPlan Q9(const QB& qb) {
     auto part = qb.Scan(kPart, o, false,
                         E::Contains(E::Col(col::p_name), "green"),
                         {col::p_partkey});
-    auto line = qb.Scan(kLineItem, o, true, nullptr,
-                        {col::l_orderkey, col::l_partkey, col::l_suppkey,
-                         col::l_quantity, col::l_extendedprice,
-                         col::l_discount});
     // lp: lok0 lpk1 lsk2 qty3 ext4 disc5 ppk6
-    auto lp = Join(std::move(line), std::move(part), {1}, {0});
+    // build = "green" parts (~1/17 of part names).
+    auto lp = qb.ScanJoin(kLineItem, o, nullptr,
+                          {col::l_orderkey, col::l_partkey, col::l_suppkey,
+                           col::l_quantity, col::l_extendedprice,
+                           col::l_discount},
+                          {1}, std::move(part), {0}, JoinType::kInner,
+                          double(qb.db->row_count(kPart)) * 0.06,
+                          double(qb.db->row_count(kPart)));
     auto ps = qb.Scan(kPartSupp, o, false, nullptr,
                       {col::ps_partkey, col::ps_suppkey,
                        col::ps_supplycost});
@@ -581,13 +658,16 @@ TpchPlan Q10(const QB& qb) {
                           {col::o_orderkey, col::o_custkey});
     // oc: ok0 ck1 + customer 2..9
     auto oc = Join(std::move(orders), qb.Scan(kCustomer, o, false), {1}, {0});
-    auto line = qb.Scan(kLineItem, o, true,
-                        E::ColCmp(CmpOp::kEq, col::l_returnflag, S("R")),
-                        {col::l_orderkey, col::l_extendedprice,
-                         col::l_discount});
     // j: lok0 ext1 disc2 ok3 ck4 c_ck5 c_name6 c_addr7 c_nk8 c_phone9
     //    c_acct10 c_seg11 c_comm12
-    auto j = Join(std::move(line), std::move(oc), {0}, {0});
+    // build = one quarter of orders (~3.8%).
+    auto j = qb.ScanJoin(kLineItem, o,
+                         E::ColCmp(CmpOp::kEq, col::l_returnflag, S("R")),
+                         {col::l_orderkey, col::l_extendedprice,
+                          col::l_discount},
+                         {0}, std::move(oc), {0}, JoinType::kInner,
+                         double(qb.db->row_count(kOrders)) * 0.038,
+                         double(qb.db->row_count(kOrders)));
     // j2: +nk13 nname14
     auto j2 = Join(std::move(j),
                    qb.Scan(kNation, o, false, nullptr,
@@ -654,13 +734,16 @@ TpchPlan Q12(const QB& qb) {
                              E::Col(col::l_commitdate)))),
         E::And(E::ColCmp(CmpOp::kGe, col::l_receiptdate, lo),
                E::ColCmp(CmpOp::kLt, col::l_receiptdate, hi)));
-    auto line = qb.Scan(kLineItem, o, true, std::move(filter),
-                        {col::l_orderkey, col::l_shipmode});
     // j: lok0 mode1 ok2 prio3
-    auto j = Join(std::move(line),
-                  qb.Scan(kOrders, o, false, nullptr,
-                          {col::o_orderkey, col::o_orderpriority}),
-                  {0}, {0});
+    // build = ALL orders (unfiltered FK side): the cost model declines the
+    // runtime filter, but the column-native join still applies.
+    auto j = qb.ScanJoin(kLineItem, o, std::move(filter),
+                         {col::l_orderkey, col::l_shipmode}, {0},
+                         qb.Scan(kOrders, o, false, nullptr,
+                                 {col::o_orderkey, col::o_orderpriority}),
+                         {0}, JoinType::kInner,
+                         double(qb.db->row_count(kOrders)),
+                         double(qb.db->row_count(kOrders)));
     return Agg(std::move(j), {E::Col(1)}, aggs, AggMode::kPartial);
   };
   plan.merge = [aggs](OperatorPtr gathered) {
@@ -818,11 +901,14 @@ TpchPlan Q17(const QB& qb) {
         E::And(E::ColCmp(CmpOp::kEq, col::p_brand, S("Brand#23")),
                E::ColCmp(CmpOp::kEq, col::p_container, S("MED BOX"))),
         {col::p_partkey});
-    auto line = qb.Scan(kLineItem, o, true, nullptr,
-                        {col::l_partkey, col::l_quantity,
-                         col::l_extendedprice});
     // lp: lpk0 qty1 ext2 ppk3
-    return Join(std::move(line), std::move(part), {0}, {0});
+    // build = one (brand, container) combination: ~0.1% of parts.
+    return qb.ScanJoin(kLineItem, o, nullptr,
+                       {col::l_partkey, col::l_quantity,
+                        col::l_extendedprice},
+                       {0}, std::move(part), {0}, JoinType::kInner,
+                       double(qb.db->row_count(kPart)) * 0.001,
+                       double(qb.db->row_count(kPart)));
   };
   plan.merge = [](OperatorPtr gathered) {
     return std::make_unique<SubplanOp>(
@@ -880,19 +966,22 @@ TpchPlan Q19(const QB& qb) {
   plan.tables = {kLineItem, kPart};
   std::vector<AggSpec> aggs = {{AggOp::kSum, Vol(2, 3)}};
   plan.fragment = [qb, aggs](const ScanOptions& o) {
-    auto line = qb.Scan(
-        kLineItem, o, true,
+    // j: lpk0 qty1 ext2 disc3 + part: ppk4 brand5 size6 container7
+    // build = ALL parts (the brand/container predicate applies after the
+    // join): no runtime filter, but the column-native join applies.
+    auto j = qb.ScanJoin(
+        kLineItem, o,
         E::And(E::In(E::Col(col::l_shipmode), {S("AIR"), S("REG AIR")}),
                E::ColCmp(CmpOp::kEq, col::l_shipinstruct,
                          S("DELIVER IN PERSON"))),
         {col::l_partkey, col::l_quantity, col::l_extendedprice,
-         col::l_discount});
-    // j: lpk0 qty1 ext2 disc3 + part: ppk4 brand5 size6 container7
-    auto j = Join(std::move(line),
-                  qb.Scan(kPart, o, false, nullptr,
-                          {col::p_partkey, col::p_brand, col::p_size,
-                           col::p_container}),
-                  {0}, {0});
+         col::l_discount},
+        {0},
+        qb.Scan(kPart, o, false, nullptr,
+                {col::p_partkey, col::p_brand, col::p_size,
+                 col::p_container}),
+        {0}, JoinType::kInner, double(qb.db->row_count(kPart)),
+        double(qb.db->row_count(kPart)));
     auto branch = [](const char* brand, std::vector<Value> containers,
                      double qlo, double qhi, int64_t smax) {
       return E::And(
@@ -967,72 +1056,66 @@ TpchPlan Q20(const QB& qb) {
 TpchPlan Q21(const QB& qb) {
   TpchPlan plan;
   plan.tables = {kLineItem, kSupplier, kOrders, kNation};
-  auto late = E::Cmp(CmpOp::kGt, E::Col(col::l_receiptdate),
-                     E::Col(col::l_commitdate));
-  std::vector<AggSpec> aggs = {
-      {AggOp::kSum, E::Case(late, E::Lit(int64_t{1}), E::Lit(int64_t{0}))},
-      {AggOp::kCount, nullptr}};
-  plan.fragment = [qb, aggs](const ScanOptions& o) {
-    auto line = qb.Scan(kLineItem, o, true, nullptr,
-                        {col::l_orderkey, col::l_suppkey, col::l_commitdate,
-                         col::l_receiptdate});
-    // local agg exprs reference projected positions: commit=2, receipt=3
-    auto local_late = E::Cmp(CmpOp::kGt, E::Col(3), E::Col(2));
-    std::vector<AggSpec> local_aggs = {
-        {AggOp::kSum,
-         E::Case(local_late, E::Lit(int64_t{1}), E::Lit(int64_t{0}))},
-        {AggOp::kCount, nullptr}};
-    return Agg(std::move(line), {E::Col(0), E::Col(1)}, local_aggs,
-               AggMode::kPartial);
+  plan.fragment = [qb](const ScanOptions& o) -> OperatorPtr {
+    // Only F-order lineitems can reach the final result (the merge keeps F
+    // orders), so the fragment semi-joins lineitem against the F orders;
+    // the column path runs this as a vectorized ColumnHashJoinOp with the
+    // F-orders bloom filter pruning the probe selection, the row path as
+    // HashJoinOp with the same filter pushed into the scan. ~51% of
+    // lineitems are pruned. The (ok, sk) pairs are nearly all distinct at
+    // this scale, so a fragment-local partial agg would not compress the
+    // shuffle; the fragment emits raw (ok, sk, late_sk_or_NULL) rows and
+    // leaves the single per-order grouping to the merge.
+    auto orders_f = qb.Scan(kOrders, o, false,
+                            E::ColCmp(CmpOp::kEq, col::o_orderstatus, S("F")),
+                            {col::o_orderkey});
+    auto semi = qb.ScanJoin(
+        kLineItem, o, nullptr,
+        {col::l_orderkey, col::l_suppkey, col::l_commitdate,
+         col::l_receiptdate},
+        {0}, std::move(orders_f), {0}, JoinType::kLeftSemi,
+        double(qb.db->row_count(kOrders)) * 0.49,
+        double(qb.db->row_count(kOrders)));
+    // projected positions: commit=2, receipt=3
+    auto late = E::Cmp(CmpOp::kGt, E::Col(3), E::Col(2));
+    return Project(std::move(semi),
+                   {E::Col(0), E::Col(1),
+                    E::Case(late, E::Col(1), E::Lit(Value{}))});
   };
   plan.merge = [qb](OperatorPtr gathered) {
-    std::vector<AggSpec> aggs = {{AggOp::kSum, nullptr},
-                                 {AggOp::kCount, nullptr}};
-    auto per_pair =
-        Agg(std::move(gathered), GroupCols(2), aggs, AggMode::kFinal);
-    // rows: ok0 sk1 late_count2 total3
-    return std::make_unique<SubplanOp>(
-        std::move(per_pair),
-        [qb](std::vector<Row> rows) -> OperatorPtr {
-          ScanOptions single;
-          // Per-order stats: #suppliers, #late suppliers.
-          auto stats =
-              Agg(std::make_unique<ValuesOp>(rows), {E::Col(0)},
-                  {{AggOp::kCount, nullptr},
-                   {AggOp::kSum,
-                    E::Case(E::ColCmp(CmpOp::kGt, 2, int64_t{0}),
-                            E::Lit(int64_t{1}), E::Lit(int64_t{0}))}});
-          // Late (ok, sk) pairs.
-          auto late_pairs =
-              Filter(std::make_unique<ValuesOp>(std::move(rows)),
-                     E::ColCmp(CmpOp::kGt, 2, int64_t{0}));
-          // join stats: ok0 sk1 late2 total3 sok4 suppcnt5 latecnt6
-          auto j = Join(std::move(late_pairs), std::move(stats), {0}, {0});
-          auto waiting = Filter(
-              std::move(j),
-              E::And(E::ColCmp(CmpOp::kGt, 5, int64_t{1}),
-                     E::ColCmp(CmpOp::kEq, 6, int64_t{1})));
-          // orders with status F
-          auto orders_f = qb.Scan(
-              kOrders, single, false,
-              E::ColCmp(CmpOp::kEq, col::o_orderstatus, S("F")),
-              {col::o_orderkey});
-          auto w2 = Join(std::move(waiting), std::move(orders_f), {0}, {0},
-                         JoinType::kLeftSemi);
-          // suppliers in SAUDI ARABIA: s_sk0 s_name1 s_nk2 nk3
-          auto sn = Join(
-              qb.Scan(kSupplier, single, false, nullptr,
-                      {col::s_suppkey, col::s_name, col::s_nationkey}),
-              qb.Scan(kNation, single, false,
-                      E::ColCmp(CmpOp::kEq, col::n_name, S("SAUDI ARABIA")),
-                      {col::n_nationkey}),
-              {2}, {0});
-          // j2: ok0 sk1 late2 total3 sok4 suppcnt5 latecnt6 + sn 7..10
-          auto j2 = Join(std::move(w2), std::move(sn), {1}, {0});
-          auto counted = Agg(std::move(j2), {E::Col(8)},
-                             {{AggOp::kCount, nullptr}});
-          return Sort(std::move(counted), {{1, false}, {0, true}}, 100);
-        });
+    // Per-order stats with min/max only, which merge over raw
+    // lineitem-level rows from any number of fragments — so one grouping
+    // pass by order replaces the (ok, sk) dedup + per-order two-agg
+    // cascade: >1 distinct supplier ⇔ min(sk) != max(sk); exactly one
+    // distinct late supplier ⇔ min(late_sk) == max(late_sk) and non-NULL,
+    // and that unique value IS the waiting supplier's key. Every gathered
+    // row already comes from an F order (the fragments semi-join against
+    // F orders), so no orderstatus re-check is needed.
+    auto stats = Agg(std::move(gathered), {E::Col(0)},
+                     {{AggOp::kMin, E::Col(1)},
+                      {AggOp::kMax, E::Col(1)},
+                      {AggOp::kMin, E::Col(2)},
+                      {AggOp::kMax, E::Col(2)}});
+    // stats: ok0 minsk1 maxsk2 latemin3 latemax4. Orders with no late
+    // supplier have NULL latemin; NULL comparisons yield NULL (false), so
+    // the kEq clause drops them without an explicit IS NOT NULL.
+    auto waiting = Filter(std::move(stats),
+                          E::And(E::Cmp(CmpOp::kNe, E::Col(1), E::Col(2)),
+                                 E::Cmp(CmpOp::kEq, E::Col(3), E::Col(4))));
+    ScanOptions single;
+    // suppliers in SAUDI ARABIA: s_sk0 s_name1 s_nk2 nk3
+    auto sn = Join(
+        qb.Scan(kSupplier, single, false, nullptr,
+                {col::s_suppkey, col::s_name, col::s_nationkey}),
+        qb.Scan(kNation, single, false,
+                E::ColCmp(CmpOp::kEq, col::n_name, S("SAUDI ARABIA")),
+                {col::n_nationkey}),
+        {2}, {0});
+    // j2: waiting 0..4 + sn 5..8 (s_name = 6)
+    auto j2 = Join(std::move(waiting), std::move(sn), {3}, {0});
+    auto counted =
+        Agg(std::move(j2), {E::Col(6)}, {{AggOp::kCount, nullptr}});
+    return Sort(std::move(counted), {{1, false}, {0, true}}, 100);
   };
   return plan;
 }
@@ -1122,30 +1205,47 @@ TpchPlan BuildQuery(int q, const TpchDb& db, Timestamp snapshot) {
 
 Result<std::vector<Row>> RunQuerySingleNode(int q, const TpchDb& db,
                                             Timestamp snapshot,
-                                            bool use_column_index) {
+                                            const ScanOptions& base_options) {
   TpchPlan plan = BuildQuery(q, db, snapshot);
-  ScanOptions opt;
-  opt.use_column_index = use_column_index;
+  ScanOptions opt = base_options;
+  opt.task = 0;
+  opt.num_tasks = 1;
   OperatorPtr full = plan.merge(plan.fragment(opt));
   return Collect(full.get());
+}
+
+Result<std::vector<Row>> RunQuerySingleNode(int q, const TpchDb& db,
+                                            Timestamp snapshot,
+                                            bool use_column_index) {
+  ScanOptions opt;
+  opt.use_column_index = use_column_index;
+  return RunQuerySingleNode(q, db, snapshot, opt);
+}
+
+Result<std::vector<Row>> RunQueryMpp(int q, const TpchDb& db,
+                                     Timestamp snapshot, int num_tasks,
+                                     ThreadPool* pool,
+                                     const ScanOptions& base_options) {
+  TpchPlan plan = BuildQuery(q, db, snapshot);
+  MppExecutor mpp(pool);
+  return mpp.RunPartialFinal(
+      num_tasks,
+      [&](int task, int ntasks) {
+        ScanOptions opt = base_options;
+        opt.task = task;
+        opt.num_tasks = ntasks;
+        return plan.fragment(opt);
+      },
+      plan.merge);
 }
 
 Result<std::vector<Row>> RunQueryMpp(int q, const TpchDb& db,
                                      Timestamp snapshot, int num_tasks,
                                      ThreadPool* pool,
                                      bool use_column_index) {
-  TpchPlan plan = BuildQuery(q, db, snapshot);
-  MppExecutor mpp(pool);
-  return mpp.RunPartialFinal(
-      num_tasks,
-      [&](int task, int ntasks) {
-        ScanOptions opt;
-        opt.task = task;
-        opt.num_tasks = ntasks;
-        opt.use_column_index = use_column_index;
-        return plan.fragment(opt);
-      },
-      plan.merge);
+  ScanOptions opt;
+  opt.use_column_index = use_column_index;
+  return RunQueryMpp(q, db, snapshot, num_tasks, pool, opt);
 }
 
 }  // namespace polarx::tpch

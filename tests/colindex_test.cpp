@@ -3,8 +3,11 @@
 // selection, and integration with RO-replica log capture.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/clock/hlc.h"
 #include "src/colindex/column_index.h"
+#include "src/exec/runtime_filter.h"
 #include "src/replication/rw_ro.h"
 #include "src/storage/buffer_pool.h"
 #include "src/txn/engine.h"
@@ -215,6 +218,201 @@ TEST(ColumnIndexTest, AbortedTxnNeverReachesIndex) {
   log.MarkFlushed(log.current_lsn());
   repl.SyncAll();
   EXPECT_EQ(idx.total_versions(), 0u);
+}
+
+// ---- runtime-filter pushdown + column-native hash join (DESIGN.md §9) ----
+
+std::string RowStr(const Row& r) {
+  std::string s;
+  for (const auto& v : r) {
+    if (const auto* i = std::get_if<int64_t>(&v)) {
+      s += "i" + std::to_string(*i);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      s += "d" + std::to_string(*d);
+    } else if (const auto* t = std::get_if<std::string>(&v)) {
+      s += "s" + *t;
+    } else {
+      s += "n";
+    }
+    s += "|";
+  }
+  return s;
+}
+
+std::multiset<std::string> RowSet(const std::vector<Row>& rows) {
+  std::multiset<std::string> out;
+  for (const auto& r : rows) out.insert(RowStr(r));
+  return out;
+}
+
+TEST(RuntimeFilterPushdownTest, SaturatedBloomHasNoFalseNegatives) {
+  // Bloom sized for 4 keys but loaded with 2048: nearly every bit ends up
+  // set and the false-positive rate approaches 1, yet every inserted key
+  // must still pass — the FN-forbidden half of the §9 contract.
+  BloomFilter bloom(4, kKeyHashSeed);
+  for (int64_t i = 0; i < 2048; ++i) bloom.Add(Int64CellHash(i * 7919));
+  for (int64_t i = 0; i < 2048; ++i) {
+    EXPECT_TRUE(bloom.MightContain(Int64CellHash(i * 7919))) << i;
+  }
+}
+
+TEST(RuntimeFilterPushdownTest, SaturatedFilterScanKeepsAllQualifyingRows) {
+  ColumnIndex idx(TestSchema());
+  std::vector<RedoRecord> ops;
+  for (int64_t i = 0; i < 4096; ++i) ops.push_back(Ins(i, double(i), "t"));
+  idx.ApplyCommit(100, ops);
+
+  // Crafted high-FP filter: drastically undersized bloom holding every
+  // 16th id. The pushed-down scan may keep non-qualifying rows (false
+  // positives), but must never drop a qualifying one.
+  auto rf = std::make_shared<RuntimeFilter>();
+  rf->bloom = BloomFilter(4, kKeyHashSeed);
+  std::set<int64_t> qualifying;
+  for (int64_t i = 0; i < 4096; i += 16) {
+    qualifying.insert(i);
+    rf->bloom.Add(RowKeyHash({Value{i}}, {0}));
+  }
+  rf->has_bounds = true;
+  rf->min_key = 0;
+  rf->max_key = 4080;
+  rf->num_build_keys = qualifying.size();
+
+  auto slot = std::make_shared<RuntimeFilterSlot>();
+  slot->key_cols = {0};
+  slot->filter = rf;
+  ColumnScanOp scan(&idx, 100);
+  scan.SetRuntimeFilter(slot);
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+
+  std::set<int64_t> seen;
+  for (const auto& r : *rows) seen.insert(std::get<int64_t>(r[0]));
+  for (int64_t q : qualifying) {
+    EXPECT_TRUE(seen.count(q)) << "bloom false negative dropped id " << q;
+  }
+  for (int64_t s : seen) {  // min/max bounds must also hold
+    EXPECT_GE(s, rf->min_key);
+    EXPECT_LE(s, rf->max_key);
+  }
+}
+
+std::vector<Row> JoinBuildRows() {
+  return {
+      {int64_t{5}, std::string("b5a")},
+      {int64_t{5}, std::string("b5b")},    // duplicate build key
+      {int64_t{17}, std::string("b17")},
+      {int64_t{999}, std::string("b999")},
+      {int64_t{5000}, std::string("no-probe-match")},
+      {Value{}, std::string("null-key")},  // NULL never matches a probe id
+  };
+}
+
+TEST(ColumnHashJoinTest, MatchesRowHashJoinAcrossJoinTypes) {
+  ColumnIndex idx(TestSchema());
+  std::vector<RedoRecord> ops;
+  for (int64_t i = 0; i < 1000; ++i) {
+    ops.push_back(Ins(i, double(i % 7), "tag" + std::to_string(i % 3)));
+  }
+  idx.ApplyCommit(100, ops);
+
+  auto probe_filter = [] {
+    return Expr::ColCmp(CmpOp::kLt, 0, int64_t{500});
+  };
+  for (JoinType type :
+       {JoinType::kInner, JoinType::kLeftSemi, JoinType::kLeftAnti}) {
+    ColumnHashJoinOp col_join(
+        &idx, 100, probe_filter(), /*projection=*/{0, 2},
+        /*probe_keys=*/{0}, std::make_unique<ValuesOp>(JoinBuildRows()),
+        /*build_keys=*/{0}, type, /*use_runtime_filter=*/true);
+    auto col_rows = Collect(&col_join);
+    ASSERT_TRUE(col_rows.ok()) << col_rows.status().ToString();
+
+    HashJoinOp row_join(
+        std::make_unique<ColumnScanOp>(&idx, 100, probe_filter(),
+                                       std::vector<int>{0, 2}),
+        std::make_unique<ValuesOp>(JoinBuildRows()), {0}, {0}, type);
+    auto row_rows = Collect(&row_join);
+    ASSERT_TRUE(row_rows.ok()) << row_rows.status().ToString();
+
+    EXPECT_EQ(RowSet(*col_rows), RowSet(*row_rows))
+        << "join type " << int(type);
+  }
+
+  // Spot-check the inner join shape: ids 5 (two build dups), 17, 999 match;
+  // 999 is cut by the probe filter, so 2 + 1 = 3 output rows with build
+  // columns appended.
+  ColumnHashJoinOp inner(&idx, 100, probe_filter(), {0, 2}, {0},
+                         std::make_unique<ValuesOp>(JoinBuildRows()), {0},
+                         JoinType::kInner, true);
+  auto rows = Collect(&inner);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+  for (const auto& r : *rows) EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(ColumnAggTest, SemiJoinFusedIntoSelectionMatchesRowPath) {
+  // ColumnAggOp::SetSemiJoin fuses an exact left-semi join into the
+  // selection phase before the vectorized aggregation. Compare against the
+  // unfused composition: HashAggOp over HashJoinOp(kLeftSemi) over a
+  // column scan.
+  ColumnIndex idx(TestSchema());
+  std::vector<RedoRecord> ops;
+  for (int64_t i = 0; i < 1200; ++i) {
+    ops.push_back(Ins(i, double(i % 11), "tag" + std::to_string(i % 4)));
+  }
+  idx.ApplyCommit(100, ops);
+
+  auto filter = [] { return Expr::ColCmp(CmpOp::kLt, 0, int64_t{800}); };
+  std::vector<Row> build;
+  for (int64_t i = 0; i < 1200; i += 3) build.push_back({Value{i}});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggOp::kCount, nullptr});
+  aggs.push_back({AggOp::kSum, Expr::Col(1)});
+
+  ColumnAggOp fused(&idx, 100, filter(), /*group_cols=*/{2}, aggs);
+  fused.SetSemiJoin(std::make_unique<ValuesOp>(build),
+                    /*build_keys=*/{0}, /*probe_cols=*/{0});
+  auto fused_rows = Collect(&fused);
+  ASSERT_TRUE(fused_rows.ok()) << fused_rows.status().ToString();
+
+  std::vector<ExprPtr> gb;
+  gb.push_back(Expr::Col(2));
+  HashAggOp unfused(
+      std::make_unique<HashJoinOp>(
+          std::make_unique<ColumnScanOp>(&idx, 100, filter()),
+          std::make_unique<ValuesOp>(build), std::vector<int>{0},
+          std::vector<int>{0}, JoinType::kLeftSemi),
+      std::move(gb), aggs);
+  auto unfused_rows = Collect(&unfused);
+  ASSERT_TRUE(unfused_rows.ok()) << unfused_rows.status().ToString();
+
+  // 800 rows pass the filter, every third id passes the semi join; 4 tag
+  // groups survive either way.
+  EXPECT_EQ(fused_rows->size(), 4u);
+  EXPECT_EQ(RowSet(*fused_rows), RowSet(*unfused_rows));
+}
+
+TEST(ColumnHashJoinTest, RuntimeFilterFlagDoesNotChangeResults) {
+  ColumnIndex idx(TestSchema());
+  std::vector<RedoRecord> ops;
+  for (int64_t i = 0; i < 2000; ++i) {
+    ops.push_back(Ins(i, double(i), "x"));
+  }
+  idx.ApplyCommit(100, ops);
+  std::vector<Row> expected_ids;
+  for (bool rf : {true, false}) {
+    ColumnHashJoinOp join(&idx, 100, nullptr, {0}, {0},
+                          std::make_unique<ValuesOp>(JoinBuildRows()), {0},
+                          JoinType::kLeftSemi, rf);
+    auto rows = Collect(&join);
+    ASSERT_TRUE(rows.ok());
+    if (rf) {
+      expected_ids = *rows;
+      EXPECT_EQ(rows->size(), 3u);  // 5, 17, 999 present; 5000/NULL absent
+    } else {
+      EXPECT_EQ(RowSet(*rows), RowSet(expected_ids));
+    }
+  }
 }
 
 }  // namespace

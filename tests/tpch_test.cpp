@@ -8,6 +8,7 @@
 #include <set>
 
 #include "src/exec/expr.h"
+#include "src/exec/runtime_filter.h"
 #include "src/workload/tpch.h"
 
 namespace polarx::tpch {
@@ -275,6 +276,90 @@ TEST_P(QuerySweep, ColumnIndexMatchesRowStore) {
   EXPECT_NEAR(SetFingerprint(*col_store), SetFingerprint(*row_store),
               std::abs(SetFingerprint(*row_store)) * 1e-6 + 1e-6)
       << "Q" << q;
+}
+
+// The full execution grid must be result-identical: runtime filters may
+// only shrink intermediates (false positives pass through the exact join;
+// false negatives are forbidden), and ColumnHashJoinOp must be a drop-in
+// for ColumnScanOp + HashJoinOp. Also covers MPP with filters disabled.
+TEST_P(QuerySweep, FilterJoinGridMatchesBaseline) {
+  int q = GetParam();
+  auto baseline = RunQuerySingleNode(q, *db_, db_->load_ts(), false);
+  ASSERT_TRUE(baseline.ok());
+  double want = SetFingerprint(*baseline);
+  double tol = std::abs(want) * 1e-6 + 1e-6;
+  for (bool rf : {false, true}) {
+    for (bool cj : {false, true}) {
+      ScanOptions o;
+      o.use_column_index = true;
+      o.column_join = cj;
+      o.runtime_filters = rf;
+      auto got = RunQuerySingleNode(q, *db_, db_->load_ts(), o);
+      ASSERT_TRUE(got.ok()) << "Q" << q << " rf=" << rf << " cj=" << cj
+                            << ": " << got.status().ToString();
+      ASSERT_EQ(got->size(), baseline->size())
+          << "Q" << q << " rf=" << rf << " cj=" << cj;
+      EXPECT_NEAR(SetFingerprint(*got), want, tol)
+          << "Q" << q << " rf=" << rf << " cj=" << cj;
+    }
+  }
+  ScanOptions row_no_rf;
+  row_no_rf.runtime_filters = false;
+  ThreadPool pool(4);
+  auto mpp = RunQueryMpp(q, *db_, db_->load_ts(), 4, &pool, row_no_rf);
+  ASSERT_TRUE(mpp.ok()) << mpp.status().ToString();
+  ASSERT_EQ(mpp->size(), baseline->size()) << "Q" << q;
+  EXPECT_NEAR(SetFingerprint(*mpp), want, tol) << "Q" << q;
+}
+
+// The ablation the bench reports: with filters on, Q8's small build side
+// (filtered part) prunes most lineitem probes before the join; with
+// filters off nothing is pruned and every scanned row reaches a probe.
+TEST_F(TpchFixture, RuntimeFiltersPruneQ8ProbeRows) {
+  ScanOptions on, off;
+  on.use_column_index = off.use_column_index = true;
+  on.runtime_filters = true;
+  off.runtime_filters = false;
+
+  ResetRuntimeFilterStats();
+  auto with_filters = RunQuerySingleNode(8, *db_, db_->load_ts(), on);
+  ASSERT_TRUE(with_filters.ok());
+  RuntimeFilterStats s_on = ReadRuntimeFilterStats();
+
+  ResetRuntimeFilterStats();
+  auto without = RunQuerySingleNode(8, *db_, db_->load_ts(), off);
+  ASSERT_TRUE(without.ok());
+  RuntimeFilterStats s_off = ReadRuntimeFilterStats();
+
+  EXPECT_EQ(with_filters->size(), without->size());
+  EXPECT_GT(s_on.scan_rows_tested, 0u);
+  EXPECT_GT(s_on.scan_rows_dropped, 0u);
+  EXPECT_EQ(s_off.scan_rows_dropped, 0u);
+  EXPECT_LT(s_on.join_probe_rows, s_off.join_probe_rows)
+      << "filters must shrink the rows reaching join probes";
+}
+
+// Same property on the row-store path: the bloom filter published by
+// HashJoinOp's build must prune TableScanOp output without changing the
+// result (Q3 attaches one on the orders-customer build).
+TEST_F(TpchFixture, RuntimeFiltersPruneRowStoreScans) {
+  ScanOptions on, off;
+  on.runtime_filters = true;
+  off.runtime_filters = false;
+
+  ResetRuntimeFilterStats();
+  auto with_filters = RunQuerySingleNode(3, *db_, db_->load_ts(), on);
+  ASSERT_TRUE(with_filters.ok());
+  RuntimeFilterStats s_on = ReadRuntimeFilterStats();
+
+  ResetRuntimeFilterStats();
+  auto without = RunQuerySingleNode(3, *db_, db_->load_ts(), off);
+  ASSERT_TRUE(without.ok());
+  RuntimeFilterStats s_off = ReadRuntimeFilterStats();
+
+  EXPECT_EQ(SetFingerprint(*with_filters), SetFingerprint(*without));
+  EXPECT_GT(s_on.scan_rows_dropped, 0u);
+  EXPECT_LT(s_on.join_probe_rows, s_off.join_probe_rows);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, QuerySweep, ::testing::Range(1, 23),
